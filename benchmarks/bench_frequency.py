@@ -1,0 +1,43 @@
+"""Experiment P2 — achievable-frequency impact (paper §4.2).
+
+Paper reference: target frequency drops ~8 % on average with DFG
+variants (extra multiplexers), <1 % with branch masking (one XOR in
+the next-state logic) and ~4 % with constant obfuscation (larger
+muxes, slightly longer critical path), with the variant penalty
+proportional to the key bits per block.
+"""
+
+import pytest
+
+from repro.evaluation.overhead import (
+    format_frequency_rows,
+    measure_frequency,
+)
+
+BENCHMARKS = ["gsm", "adpcm", "sobel", "backprop", "viterbi"]
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_frequency_row(benchmark, name):
+    row = benchmark.pedantic(measure_frequency, args=(name,), rounds=1, iterations=1)
+    ratios = row.ratios()
+    assert ratios["branches"] > 0.99  # <1 % loss
+    assert 0.85 < ratios["constants"] <= 1.0  # a few percent
+    assert 0.80 < ratios["dfg"] <= 1.0  # largest impact
+
+
+def test_frequency_suite_shape(benchmark, capsys):
+    def sweep():
+        return [measure_frequency(name) for name in BENCHMARKS]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_frequency_rows(rows))
+    n = len(rows)
+    avg_branches = sum(r.ratios()["branches"] for r in rows) / n
+    avg_constants = sum(r.ratios()["constants"] for r in rows) / n
+    avg_dfg = sum(r.ratios()["dfg"] for r in rows) / n
+    assert avg_branches > 0.99  # paper: negligible (<1 %)
+    assert avg_constants >= avg_dfg  # constants lighter than variants
+    assert 0.85 < avg_dfg < 1.0  # paper: ~8 % average loss

@@ -1,0 +1,45 @@
+"""Experiment K1 — key-management overhead (paper §3.4 / §4.2).
+
+Paper reference: the replication scheme adds no area or delay (the
+locking-key bits wire directly from the tamper-proof memory to the use
+points, with fan-out f = ceil(W/K)); the AES scheme adds a fixed
+decryption core plus NVM bits and flip-flops proportional to W, and
+its one-time power-up latency is irrelevant at run time.
+"""
+
+import pytest
+
+from repro.evaluation.keymgmt_eval import (
+    format_keymgmt,
+    generate_keymgmt,
+    measure_keymgmt,
+)
+
+BENCHMARKS = ["gsm", "adpcm", "sobel", "backprop", "viterbi"]
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_keymgmt_row(benchmark, name):
+    row = benchmark.pedantic(measure_keymgmt, args=(name,), rounds=1, iterations=1)
+    assert row.replication_extra == 0.0  # replication is free
+    assert row.aes_extra > 0.0
+    assert row.replication_fanout >= 1
+
+
+def test_keymgmt_suite(benchmark, capsys):
+    rows = benchmark.pedantic(generate_keymgmt, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_keymgmt(rows))
+    by_name = {r.benchmark: r for r in rows}
+    # AES storage term grows with W: viterbi (largest W) pays the most.
+    assert by_name["viterbi"].aes_extra == max(r.aes_extra for r in rows)
+    # Fan-out f = ceil(W/256) ordering follows W.
+    assert by_name["viterbi"].replication_fanout == max(
+        r.replication_fanout for r in rows
+    )
+    # The AES core contribution is fixed: extra - storage is constant.
+    from repro.crypto.aes import AES_CORE_AREA_GATES
+
+    for row in rows:
+        assert row.aes_extra > AES_CORE_AREA_GATES

@@ -1,0 +1,78 @@
+"""Experiment X1 (extension) — ROM-content obfuscation overhead.
+
+Not a paper artifact: quantifies the repository's ROM-obfuscation
+extension (DESIGN.md §5) on the benchmarks that carry on-chip constant
+tables (adpcm's step/index tables, viterbi-style weight ROMs).
+Expected shape: near-zero area cost (one XOR bank per ROM), C extra
+working-key bits per ROM, and wrong ROM slices corrupting outputs.
+"""
+
+import random
+
+import pytest
+
+from repro.benchsuite import get_benchmark
+from repro.rtl import estimate_area
+from repro.sim import run_testbench
+from repro.tao import LockingKey, ObfuscationParameters, TaoFlow
+
+ROM_BENCHMARKS = ["adpcm"]  # benchmarks with eligible on-chip ROMs
+
+
+def measure_rom_extension(name):
+    bench = get_benchmark(name)
+    base_params = ObfuscationParameters()
+    ext_params = ObfuscationParameters(obfuscate_roms=True)
+    base = TaoFlow(params=base_params).obfuscate(bench.source, bench.top)
+    ext = TaoFlow(params=ext_params).obfuscate(bench.source, bench.top)
+    base_area = estimate_area(base.design).total
+    ext_area = estimate_area(ext.design).total
+    return base, ext, ext_area / base_area - 1.0
+
+
+@pytest.mark.parametrize("name", ROM_BENCHMARKS)
+def test_rom_extension_overhead(benchmark, name, capsys):
+    base, ext, overhead = benchmark.pedantic(
+        measure_rom_extension, args=(name,), rounds=1, iterations=1
+    )
+    n_roms = len(ext.design.obfuscated_roms)
+    extra_key_bits = ext.working_key_bits - base.working_key_bits
+    with capsys.disabled():
+        print(
+            f"\n{name}: {n_roms} ROM(s) obfuscated, area +{100 * overhead:.2f}%, "
+            f"+{extra_key_bits} working-key bits"
+        )
+    assert n_roms >= 1
+    assert extra_key_bits == 32 * n_roms  # Eq. 1 extension term
+    # One XOR bank per ROM read port: a few percent at most.
+    assert 0.0 <= overhead < 0.04
+
+
+@pytest.mark.parametrize("name", ROM_BENCHMARKS)
+def test_rom_extension_functional(benchmark, name, capsys):
+    def campaign():
+        bench = get_benchmark(name)
+        params = ObfuscationParameters(obfuscate_roms=True)
+        component = TaoFlow(params=params).obfuscate(bench.source, bench.top)
+        workload = bench.make_testbenches(seed=0, count=1)[0]
+        good = run_testbench(
+            component.design, workload, working_key=component.correct_working_key
+        )
+        rng = random.Random(1)
+        corrupted = 0
+        for _ in range(4):
+            key = LockingKey.random(rng)
+            outcome = run_testbench(
+                component.design,
+                workload,
+                working_key=component.working_key_for(key),
+                max_cycles=6 * good.cycles,
+            )
+            corrupted += not outcome.matches
+        return good, corrupted
+
+    good, corrupted = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n{name}: correct key ok={good.matches}, {corrupted}/4 wrong keys corrupt")
+    assert good.matches
+    assert corrupted == 4

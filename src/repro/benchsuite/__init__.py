@@ -1,0 +1,11 @@
+"""The five-benchmark evaluation suite (gsm, adpcm, sobel, backprop,
+viterbi), written from scratch in the repro C subset."""
+
+from repro.benchsuite.registry import (
+    Benchmark,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+)
+
+__all__ = ["Benchmark", "all_benchmarks", "benchmark_names", "get_benchmark"]

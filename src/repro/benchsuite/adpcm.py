@@ -1,0 +1,139 @@
+"""adpcm: adaptive differential pulse-code modulation (paper Table 1).
+
+An original integer implementation of an IMA-style ADPCM codec:
+4-bit encoding with an adaptive step size driven by a quantized
+step table (stored as a const ROM) and an index-adaptation table.
+The top function encodes a block of samples and immediately decodes
+it, returning a reconstruction-error checksum — exercising both
+directions of the codec in one FSMD.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.benchsuite.registry import Benchmark
+from repro.sim.testbench import Testbench
+
+TOP = "adpcm_main"
+
+SOURCE = """
+// adpcm: IMA-style 4-bit codec, encode + decode + error checksum
+#define NSAMPLES 48
+
+const int step_table[32] = {
+  7, 8, 9, 10, 11, 12, 13, 14,
+  16, 17, 19, 21, 23, 25, 28, 31,
+  34, 37, 41, 45, 50, 55, 60, 66,
+  73, 80, 88, 97, 107, 118, 130, 143
+};
+
+const int index_table[16] = {
+  -1, -1, -1, -1, 2, 4, 6, 8,
+  -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int clamp_index(int idx) {
+  if (idx < 0) return 0;
+  if (idx > 31) return 31;
+  return idx;
+}
+
+int clamp_sample(int s) {
+  if (s > 32767) return 32767;
+  if (s < -32768) return -32768;
+  return s;
+}
+
+int adpcm_encode_step(int sample, int predicted, int step) {
+  int diff = sample - predicted;
+  int code = 0;
+  if (diff < 0) {
+    code = 8;
+    diff = -diff;
+  }
+  if (diff >= step) {
+    code = code | 4;
+    diff = diff - step;
+  }
+  if (diff >= (step >> 1)) {
+    code = code | 2;
+    diff = diff - (step >> 1);
+  }
+  if (diff >= (step >> 2)) {
+    code = code | 1;
+  }
+  return code;
+}
+
+int adpcm_decode_step(int code, int step) {
+  int delta = step >> 3;
+  if (code & 4) delta = delta + step;
+  if (code & 2) delta = delta + (step >> 1);
+  if (code & 1) delta = delta + (step >> 2);
+  if (code & 8) delta = -delta;
+  return delta;
+}
+
+void adpcm_encode(int pcm[48], char codes[48]) {
+  int predicted = 0;
+  int index = 0;
+  for (int i = 0; i < NSAMPLES; i++) {
+    int step = step_table[index];
+    int code = adpcm_encode_step(pcm[i], predicted, step);
+    int delta = adpcm_decode_step(code, step);
+    predicted = clamp_sample(predicted + delta);
+    index = clamp_index(index + index_table[code]);
+    codes[i] = code;
+  }
+}
+
+void adpcm_decode(char codes[48], short decoded[48]) {
+  int predicted = 0;
+  int index = 0;
+  for (int i = 0; i < NSAMPLES; i++) {
+    int step = step_table[index];
+    int code = codes[i];
+    int delta = adpcm_decode_step(code, step);
+    predicted = clamp_sample(predicted + delta);
+    index = clamp_index(index + index_table[code]);
+    decoded[i] = predicted;
+  }
+}
+
+int adpcm_main(int pcm[48], char codes[48], short decoded[48]) {
+  adpcm_encode(pcm, codes);
+  adpcm_decode(codes, decoded);
+  int error = 0;
+  for (int i = 0; i < NSAMPLES; i++) {
+    int diff = pcm[i] - decoded[i];
+    if (diff < 0) diff = -diff;
+    error = error + diff;
+  }
+  return error;
+}
+"""
+
+
+def make_testbenches(seed: int = 0, count: int = 2) -> list[Testbench]:
+    """Smooth random walks mimicking band-limited audio."""
+    rng = random.Random(seed + 1)
+    benches = []
+    for _ in range(count):
+        level = rng.randint(-2000, 2000)
+        pcm = []
+        for _ in range(48):
+            level += rng.randint(-700, 700)
+            level = max(-30000, min(30000, level))
+            pcm.append(level)
+        benches.append(Testbench(args=[], arrays={"pcm": pcm}))
+    return benches
+
+
+BENCHMARK = Benchmark(
+    name="adpcm",
+    source=SOURCE,
+    top=TOP,
+    description="adaptive differential pulse code modulation",
+    make_testbenches=make_testbenches,
+)

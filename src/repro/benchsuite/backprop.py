@@ -1,0 +1,175 @@
+"""backprop: neural-network training step (paper Table 1).
+
+An original fixed-point multilayer perceptron (4-6-2) implementing one
+forward pass, output/hidden error computation and a weight update —
+the classic backpropagation algorithm in Q8 integer arithmetic with a
+piecewise-linear sigmoid surrogate.  It has the richest control
+structure of the suite, which is why the paper reports it as the
+benchmark with the most basic blocks and the largest DFG-variant
+overhead.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.benchsuite.registry import Benchmark
+from repro.sim.testbench import Testbench
+
+TOP = "backprop_train"
+
+SOURCE = """
+// backprop: one training step of a 4-6-2 MLP in Q8 fixed point
+#define NIN 4
+#define NHID 6
+#define NOUT 2
+#define LEARN_RATE 26   // ~0.1 in Q8
+#define ONE_Q8 256
+
+int sigmoid_q8(int x) {
+  // piecewise-linear sigmoid surrogate in Q8: output in (0, 256)
+  if (x <= -1024) return 4;
+  if (x >= 1024) return 252;
+  if (x < -256) {
+    return 32 + ((x + 1024) >> 4);
+  }
+  if (x > 256) {
+    return 224 + ((x - 256) >> 4);
+  }
+  return 128 + (x >> 2);
+}
+
+int sigmoid_deriv_q8(int y) {
+  // y * (1 - y) in Q8
+  return (y * (ONE_Q8 - y)) >> 8;
+}
+
+int forward_hidden(int input[4], int w_ih[24], int hidden[6]) {
+  int checksum = 0;
+  for (int h = 0; h < NHID; h++) {
+    int sum = 0;
+    for (int i = 0; i < NIN; i++) {
+      sum = sum + ((input[i] * w_ih[h * NIN + i]) >> 8);
+    }
+    int activated = sigmoid_q8(sum);
+    hidden[h] = activated;
+    checksum = checksum + activated;
+  }
+  return checksum;
+}
+
+int forward_output(int hidden[6], int w_ho[12], short output[2]) {
+  int checksum = 0;
+  for (int o = 0; o < NOUT; o++) {
+    int sum = 0;
+    for (int h = 0; h < NHID; h++) {
+      sum = sum + ((hidden[h] * w_ho[o * NHID + h]) >> 8);
+    }
+    int activated = sigmoid_q8(sum);
+    output[o] = activated;
+    checksum = checksum + activated;
+  }
+  return checksum;
+}
+
+int output_errors(short output[2], int target[2], int delta_out[2]) {
+  int total = 0;
+  for (int o = 0; o < NOUT; o++) {
+    int err = target[o] - output[o];
+    int deriv = sigmoid_deriv_q8(output[o]);
+    delta_out[o] = (err * deriv) >> 8;
+    if (err < 0) err = -err;
+    total = total + err;
+  }
+  return total;
+}
+
+void hidden_errors(int delta_out[2], int w_ho[12], int hidden[6],
+                   int delta_hid[6]) {
+  for (int h = 0; h < NHID; h++) {
+    int sum = 0;
+    for (int o = 0; o < NOUT; o++) {
+      sum = sum + ((delta_out[o] * w_ho[o * NHID + h]) >> 8);
+    }
+    int deriv = sigmoid_deriv_q8(hidden[h]);
+    delta_hid[h] = (sum * deriv) >> 8;
+  }
+}
+
+void update_output_weights(int w_ho[12], int delta_out[2], int hidden[6]) {
+  for (int o = 0; o < NOUT; o++) {
+    for (int h = 0; h < NHID; h++) {
+      int grad = (delta_out[o] * hidden[h]) >> 8;
+      int step = (LEARN_RATE * grad) >> 8;
+      w_ho[o * NHID + h] = w_ho[o * NHID + h] + step;
+    }
+  }
+}
+
+void update_hidden_weights(int w_ih[24], int delta_hid[6], int input[4]) {
+  for (int h = 0; h < NHID; h++) {
+    for (int i = 0; i < NIN; i++) {
+      int grad = (delta_hid[h] * input[i]) >> 8;
+      int step = (LEARN_RATE * grad) >> 8;
+      w_ih[h * NIN + i] = w_ih[h * NIN + i] + step;
+    }
+  }
+}
+
+int backprop_step(int input[4], int target[2], int w_ih[24], int w_ho[12],
+                  short output[2]) {
+  int hidden[6];
+  int delta_out[2];
+  int delta_hid[6];
+  forward_hidden(input, w_ih, hidden);
+  forward_output(hidden, w_ho, output);
+  int error = output_errors(output, target, delta_out);
+  hidden_errors(delta_out, w_ho, hidden, delta_hid);
+  update_output_weights(w_ho, delta_out, hidden);
+  update_hidden_weights(w_ih, delta_hid, input);
+  return error;
+}
+
+int backprop_train(int inputs[16], int targets[8], int w_ih[24], int w_ho[12],
+                   short output[2]) {
+  int input[4];
+  int target[2];
+  int total_error = 0;
+  for (int e = 0; e < 3; e++) {
+    for (int p = 0; p < 4; p++) {
+      for (int i = 0; i < NIN; i++) input[i] = inputs[p * NIN + i];
+      for (int o = 0; o < NOUT; o++) target[o] = targets[p * NOUT + o];
+      total_error = total_error + backprop_step(input, target, w_ih, w_ho, output);
+    }
+  }
+  return total_error;
+}
+"""
+
+
+def make_testbenches(seed: int = 0, count: int = 2) -> list[Testbench]:
+    """Random Q8 training patterns and small random initial weights."""
+    rng = random.Random(seed + 3)
+    benches = []
+    for _ in range(count):
+        benches.append(
+            Testbench(
+                args=[],
+                arrays={
+                    "inputs": [rng.randint(0, 256) for _ in range(16)],
+                    "targets": [rng.randint(0, 256) for _ in range(8)],
+                    "w_ih": [rng.randint(-128, 128) for _ in range(24)],
+                    "w_ho": [rng.randint(-128, 128) for _ in range(12)],
+                },
+            )
+        )
+    return benches
+
+
+BENCHMARK = Benchmark(
+    name="backprop",
+    source=SOURCE,
+    top=TOP,
+    description="neural-network training (backpropagation)",
+    make_testbenches=make_testbenches,
+)

@@ -1,0 +1,60 @@
+"""Benchmark registry: the five Table-1 kernels and their workloads.
+
+Each :class:`Benchmark` carries the C-subset source text, the top
+function name and a workload generator producing
+:class:`repro.sim.testbench.Testbench` instances.  All kernels here are
+original integer re-implementations of the named algorithms, sized so
+the pure-Python FSMD simulation of a full run stays in the thousands of
+cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.testbench import Testbench
+
+
+@dataclass
+class Benchmark:
+    """One benchmark kernel of the evaluation suite."""
+
+    name: str
+    source: str
+    top: str
+    description: str
+    make_testbenches: Callable[..., list[Testbench]]
+
+
+_REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(benchmark: Benchmark) -> Benchmark:
+    _REGISTRY[benchmark.name] = benchmark
+    return benchmark
+
+
+def get_benchmark(name: str) -> Benchmark:
+    if name not in _REGISTRY:
+        _load_all()
+    return _REGISTRY[name]
+
+
+def all_benchmarks() -> dict[str, Benchmark]:
+    _load_all()
+    return dict(_REGISTRY)
+
+
+def benchmark_names() -> list[str]:
+    _load_all()
+    return list(_REGISTRY)
+
+
+def _load_all() -> None:
+    if _REGISTRY:
+        return
+    from repro.benchsuite import adpcm, backprop, gsm, sobel, viterbi
+
+    for module in (gsm, adpcm, sobel, backprop, viterbi):
+        register(module.BENCHMARK)

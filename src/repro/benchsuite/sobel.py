@@ -1,0 +1,76 @@
+"""sobel: image edge detection (paper Table 1).
+
+A straightforward integer Sobel operator over a 16x16 grayscale image:
+3x3 horizontal/vertical gradient kernels, |gx| + |gy| magnitude
+approximation and a threshold decision, writing an edge map.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.benchsuite.registry import Benchmark
+from repro.sim.testbench import Testbench
+
+TOP = "sobel"
+
+SOURCE = """
+// sobel: 3x3 edge detection over a 16x16 image
+#define WIDTH 16
+#define HEIGHT 16
+
+int sobel(int image[256], unsigned char edges[256], int threshold) {
+  int count = 0;
+  for (int y = 1; y < HEIGHT - 1; y++) {
+    for (int x = 1; x < WIDTH - 1; x++) {
+      int p00 = image[(y - 1) * WIDTH + (x - 1)];
+      int p01 = image[(y - 1) * WIDTH + x];
+      int p02 = image[(y - 1) * WIDTH + (x + 1)];
+      int p10 = image[y * WIDTH + (x - 1)];
+      int p12 = image[y * WIDTH + (x + 1)];
+      int p20 = image[(y + 1) * WIDTH + (x - 1)];
+      int p21 = image[(y + 1) * WIDTH + x];
+      int p22 = image[(y + 1) * WIDTH + (x + 1)];
+      int gx = (p02 + 2 * p12 + p22) - (p00 + 2 * p10 + p20);
+      int gy = (p20 + 2 * p21 + p22) - (p00 + 2 * p01 + p02);
+      if (gx < 0) gx = -gx;
+      if (gy < 0) gy = -gy;
+      int magnitude = gx + gy;
+      if (magnitude > 255) magnitude = 255;
+      if (magnitude > threshold) {
+        count = count + 1;
+      }
+      edges[y * WIDTH + x] = magnitude;
+    }
+  }
+  return count;
+}
+"""
+
+
+def make_testbenches(seed: int = 0, count: int = 2) -> list[Testbench]:
+    """Images with blocks and gradients so edges actually fire."""
+    rng = random.Random(seed + 2)
+    benches = []
+    for _ in range(count):
+        image = [0] * 256
+        # Random bright rectangle on a dark background plus noise.
+        x0, y0 = rng.randint(2, 6), rng.randint(2, 6)
+        x1, y1 = rng.randint(8, 13), rng.randint(8, 13)
+        for y in range(16):
+            for x in range(16):
+                value = 200 if (x0 <= x <= x1 and y0 <= y <= y1) else 30
+                image[y * 16 + x] = max(0, min(255, value + rng.randint(-10, 10)))
+        benches.append(
+            Testbench(args=[rng.randint(80, 160)], arrays={"image": image})
+        )
+    return benches
+
+
+BENCHMARK = Benchmark(
+    name="sobel",
+    source=SOURCE,
+    top=TOP,
+    description="image-processing edge detection",
+    make_testbenches=make_testbenches,
+)

@@ -1,0 +1,120 @@
+"""viterbi: dynamic-programming HMM decoding (paper Table 1).
+
+An original integer Viterbi decoder over a 6-state hidden Markov model
+with 4 observation symbols.  Log-probabilities are negated integer
+costs; the transition and emission tables are written into local
+arrays with literal constant stores, which is why this kernel has by
+far the most extractable constants — matching the paper's Table 1,
+where viterbi's 117 constants dwarf the other benchmarks'.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.benchsuite.registry import Benchmark
+from repro.sim.testbench import Testbench
+
+TOP = "viterbi_decode"
+
+SOURCE = """
+// viterbi: 6-state / 4-symbol HMM decoder with integer log-costs
+#define NSTATES 6
+#define NOBS 12
+#define INFCOST 100000
+
+void init_model(int trans[36], int emit[24], int start[6]) {
+  // transition costs (-log p scaled); written as literal constants so
+  // the model itself is part of the IP the obfuscation must protect
+  trans[0] = 12;  trans[1] = 25;  trans[2] = 40;
+  trans[3] = 51;  trans[4] = 63;  trans[5] = 70;
+  trans[6] = 28;  trans[7] = 10;  trans[8] = 26;
+  trans[9] = 44;  trans[10] = 55; trans[11] = 64;
+  trans[12] = 45; trans[13] = 24; trans[14] = 11;
+  trans[15] = 27; trans[16] = 43; trans[17] = 56;
+  trans[18] = 58; trans[19] = 42; trans[20] = 26;
+  trans[21] = 12; trans[22] = 28; trans[23] = 41;
+  trans[24] = 66; trans[25] = 53; trans[26] = 40;
+  trans[27] = 25; trans[28] = 13; trans[29] = 29;
+  trans[30] = 72; trans[31] = 61; trans[32] = 50;
+  trans[33] = 38; trans[34] = 27; trans[35] = 14;
+  emit[0] = 7;   emit[1] = 35;  emit[2] = 52;  emit[3] = 61;
+  emit[4] = 30;  emit[5] = 9;   emit[6] = 33;  emit[7] = 50;
+  emit[8] = 47;  emit[9] = 31;  emit[10] = 8;  emit[11] = 36;
+  emit[12] = 60; emit[13] = 45; emit[14] = 32; emit[15] = 10;
+  emit[16] = 21; emit[17] = 18; emit[18] = 24; emit[19] = 39;
+  emit[20] = 41; emit[21] = 22; emit[22] = 17; emit[23] = 20;
+  start[0] = 5;  start[1] = 18; start[2] = 31;
+  start[3] = 42; start[4] = 55; start[5] = 68;
+}
+
+int viterbi_decode(int observations[12], char path[12]) {
+  int trans[36];
+  int emit[24];
+  int start[6];
+  int cost[6];
+  int next_cost[6];
+  int back[72];
+  init_model(trans, emit, start);
+  for (int s = 0; s < NSTATES; s++) {
+    int obs = observations[0];
+    cost[s] = start[s] + emit[s * 4 + obs];
+  }
+  for (int t = 1; t < NOBS; t++) {
+    int obs = observations[t];
+    for (int s = 0; s < NSTATES; s++) {
+      int best = INFCOST;
+      int best_prev = 0;
+      for (int p = 0; p < NSTATES; p++) {
+        int candidate = cost[p] + trans[p * NSTATES + s];
+        if (candidate < best) {
+          best = candidate;
+          best_prev = p;
+        }
+      }
+      next_cost[s] = best + emit[s * 4 + obs];
+      back[t * NSTATES + s] = best_prev;
+    }
+    for (int s = 0; s < NSTATES; s++) {
+      cost[s] = next_cost[s];
+    }
+  }
+  int best_final = INFCOST;
+  int best_state = 0;
+  for (int s = 0; s < NSTATES; s++) {
+    if (cost[s] < best_final) {
+      best_final = cost[s];
+      best_state = s;
+    }
+  }
+  path[NOBS - 1] = best_state;
+  for (int t = NOBS - 1; t > 0; t = t - 1) {
+    best_state = back[t * NSTATES + best_state];
+    path[t - 1] = best_state;
+  }
+  return best_final;
+}
+"""
+
+
+def make_testbenches(seed: int = 0, count: int = 2) -> list[Testbench]:
+    """Observation sequences biased toward a hidden regime switch."""
+    rng = random.Random(seed + 4)
+    benches = []
+    for _ in range(count):
+        switch = rng.randint(3, 9)
+        observations = [
+            (rng.randint(0, 1) if t < switch else rng.randint(2, 3))
+            for t in range(12)
+        ]
+        benches.append(Testbench(args=[], arrays={"observations": observations}))
+    return benches
+
+
+BENCHMARK = Benchmark(
+    name="viterbi",
+    source=SOURCE,
+    top=TOP,
+    description="dynamic-programming decoding of a hidden Markov model",
+    make_testbenches=make_testbenches,
+)

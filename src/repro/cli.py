@@ -1,0 +1,216 @@
+"""Command-line interface for the TAO reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro obfuscate design.c --top kernel -o out/
+    python -m repro analyze design.c --top kernel
+    python -m repro baseline design.c --top kernel -o out/
+    python -m repro table1
+    python -m repro figure6
+    python -m repro validate --benchmark sobel --keys 20
+
+``obfuscate`` writes the obfuscated Verilog, the locking key, and a
+JSON key manifest; ``analyze`` prints the key apportionment (Eq. 1)
+without synthesizing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.rtl import emit_verilog, estimate_area, estimate_timing
+from repro.tao import LockingKey, ObfuscationParameters, TaoFlow
+
+
+def _add_flow_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("source", type=Path, help="C-subset source file")
+    parser.add_argument("--top", required=True, help="top-level function name")
+    parser.add_argument(
+        "--constant-width", type=int, default=32, help="C: bits per constant"
+    )
+    parser.add_argument(
+        "--block-bits", type=int, default=4, help="B_i: key bits per basic block"
+    )
+    parser.add_argument(
+        "--no-constants", action="store_true", help="disable constant obfuscation"
+    )
+    parser.add_argument(
+        "--no-branches", action="store_true", help="disable branch masking"
+    )
+    parser.add_argument(
+        "--no-dfg", action="store_true", help="disable DFG variants"
+    )
+    parser.add_argument(
+        "--key-scheme",
+        choices=("replication", "aes"),
+        default="replication",
+        help="working-key management scheme (paper §3.4)",
+    )
+    parser.add_argument(
+        "--locking-key",
+        help="hex locking key (256-bit); random when omitted",
+    )
+
+
+def _parameters(args: argparse.Namespace) -> ObfuscationParameters:
+    return ObfuscationParameters(
+        constant_width=args.constant_width,
+        block_bits=args.block_bits,
+        obfuscate_constants=not args.no_constants,
+        obfuscate_branches=not args.no_branches,
+        obfuscate_dfg=not args.no_dfg,
+    )
+
+
+def _locking_key(args: argparse.Namespace) -> Optional[LockingKey]:
+    if args.locking_key:
+        return LockingKey(bits=int(args.locking_key, 16), width=256)
+    return None
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    source = args.source.read_text()
+    flow = TaoFlow(params=_parameters(args))
+    module = flow.compile_front_end(source, args.source.stem)
+    apportionment = flow.analyze(module, args.top)
+    print(f"function        : {args.top}")
+    print(f"basic blocks    : {apportionment.num_blocks}")
+    print(f"cond. branches  : {apportionment.num_branches}")
+    print(f"constants       : {apportionment.num_constants}")
+    print(
+        f"working key W   : {apportionment.working_key_bits} bits "
+        f"(Eq. 1: {apportionment.num_branches} + "
+        f"{apportionment.num_constants} x {args.constant_width} + "
+        f"{apportionment.num_blocks} x {args.block_bits})"
+    )
+    return 0
+
+
+def cmd_obfuscate(args: argparse.Namespace) -> int:
+    source = args.source.read_text()
+    flow = TaoFlow(params=_parameters(args), key_scheme=args.key_scheme)
+    component = flow.obfuscate(
+        source, args.top, locking_key=_locking_key(args), name=args.source.stem
+    )
+    out_dir: Path = args.output
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    rtl_path = out_dir / f"{args.top}_obfuscated.v"
+    rtl_path.write_text(emit_verilog(component.design))
+
+    key_path = out_dir / f"{args.top}.lockingkey"
+    key_path.write_text(f"{component.locking_key.bits:064x}\n")
+
+    area = estimate_area(component.design)
+    timing = estimate_timing(component.design)
+    manifest = {
+        "top": args.top,
+        "working_key_bits": component.working_key_bits,
+        "locking_key_bits": component.locking_key.width,
+        "key_scheme": args.key_scheme,
+        "obfuscated_constants": len(component.design.obfuscated_constants),
+        "masked_branches": len(component.design.masked_branches),
+        "variant_blocks": len(component.design.block_variants),
+        "area_gates": round(area.total, 1),
+        "frequency_mhz": round(timing.frequency_mhz, 1),
+        "states": component.design.controller.n_states,
+    }
+    manifest_path = out_dir / f"{args.top}_manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+
+    print(f"wrote {rtl_path}")
+    print(f"wrote {key_path}  (store in tamper-proof memory!)")
+    print(f"wrote {manifest_path}")
+    print(
+        f"W = {component.working_key_bits} bits, "
+        f"area {area.total:.0f} gates, {timing.frequency_mhz:.0f} MHz"
+    )
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    source = args.source.read_text()
+    flow = TaoFlow(params=_parameters(args))
+    design = flow.synthesize_baseline(source, args.top, name=args.source.stem)
+    out_dir: Path = args.output
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rtl_path = out_dir / f"{args.top}_baseline.v"
+    rtl_path.write_text(emit_verilog(design))
+    area = estimate_area(design)
+    timing = estimate_timing(design)
+    print(f"wrote {rtl_path}")
+    print(f"area {area.total:.0f} gates, {timing.frequency_mhz:.0f} MHz")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.evaluation import format_table1, generate_table1
+
+    print(format_table1(generate_table1()))
+    return 0
+
+
+def cmd_figure6(args: argparse.Namespace) -> int:
+    from repro.evaluation import format_figure6, generate_figure6
+
+    print(format_figure6(generate_figure6()))
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.evaluation import format_validation, validate_benchmark
+    from repro.evaluation.validation import ValidationSummary
+
+    report = validate_benchmark(args.benchmark, n_keys=args.keys)
+    summary = ValidationSummary(reports={args.benchmark: report})
+    print(format_validation(summary))
+    return 0 if report.correct_key_ok and report.wrong_keys_all_corrupt else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TAO (DAC 2018) algorithm-level obfuscation reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="print key apportionment")
+    _add_flow_arguments(analyze)
+    analyze.set_defaults(func=cmd_analyze)
+
+    obfuscate = subparsers.add_parser("obfuscate", help="run the TAO flow")
+    _add_flow_arguments(obfuscate)
+    obfuscate.add_argument("-o", "--output", type=Path, default=Path("out"))
+    obfuscate.set_defaults(func=cmd_obfuscate)
+
+    baseline = subparsers.add_parser("baseline", help="unobfuscated HLS only")
+    _add_flow_arguments(baseline)
+    baseline.add_argument("-o", "--output", type=Path, default=Path("out"))
+    baseline.set_defaults(func=cmd_baseline)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1")
+    table1.set_defaults(func=cmd_table1)
+
+    figure6 = subparsers.add_parser("figure6", help="regenerate Figure 6")
+    figure6.set_defaults(func=cmd_figure6)
+
+    validate = subparsers.add_parser("validate", help="key-validation campaign")
+    validate.add_argument("--benchmark", default="sobel")
+    validate.add_argument("--keys", type=int, default=10)
+    validate.set_defaults(func=cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Cryptographic substrate: pure-Python AES (FIPS-197)."""
+
+from repro.crypto.aes import AES, AES_CORE_AREA_GATES, INV_SBOX, SBOX
+
+__all__ = ["AES", "AES_CORE_AREA_GATES", "INV_SBOX", "SBOX"]

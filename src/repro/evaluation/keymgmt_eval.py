@@ -1,0 +1,74 @@
+"""Key-management overhead experiment (paper §3.4 / §4.2, experiment K1).
+
+Compares the two working-key delivery schemes per benchmark:
+
+* replication — zero extra hardware, but each locking-key bit fans out
+  to ``f = ceil(W/K)`` working-key bits;
+* AES — a fixed AES-256 core plus NVM bits and flip-flops proportional
+  to W.
+
+The paper observes the replication scheme is free while the AES scheme
+adds a fixed decryption module plus W-proportional storage; this
+experiment quantifies both against each benchmark's datapath area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchsuite import all_benchmarks
+from repro.rtl.area_model import estimate_area
+from repro.tao.flow import TaoFlow
+from repro.tao.keymgmt import AesKeyManager, ReplicationKeyManager
+
+
+@dataclass
+class KeyManagementRow:
+    benchmark: str
+    working_key_bits: int
+    design_area: float
+    replication_extra: float
+    replication_fanout: int
+    aes_extra: float
+
+    @property
+    def aes_relative(self) -> float:
+        """AES overhead as a fraction of the obfuscated design area."""
+        return self.aes_extra / self.design_area if self.design_area else 0.0
+
+
+def measure_keymgmt(name: str) -> KeyManagementRow:
+    bench = all_benchmarks()[name]
+    component = TaoFlow().obfuscate(bench.source, bench.top)
+    w = component.working_key_bits
+    area = estimate_area(component.design).total
+    replication = ReplicationKeyManager(w)
+    aes = AesKeyManager(w)
+    return KeyManagementRow(
+        benchmark=name,
+        working_key_bits=w,
+        design_area=area,
+        replication_extra=replication.overhead().total,
+        replication_fanout=replication.fanout,
+        aes_extra=aes.overhead().total,
+    )
+
+
+def generate_keymgmt() -> list[KeyManagementRow]:
+    return [measure_keymgmt(name) for name in all_benchmarks()]
+
+
+def format_keymgmt(rows: list[KeyManagementRow]) -> str:
+    lines = [
+        "Key-management overhead (paper §3.4: replication free; AES = "
+        "fixed core + W-proportional storage)",
+        f"{'Benchmark':<10} {'W bits':>8} {'repl. extra':>12} "
+        f"{'fan-out f':>10} {'AES extra':>12} {'AES/design':>11}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.benchmark:<10} {row.working_key_bits:>8} "
+            f"{row.replication_extra:>12.0f} {row.replication_fanout:>10} "
+            f"{row.aes_extra:>12.0f} {100 * row.aes_relative:>10.1f}%"
+        )
+    return "\n".join(lines)

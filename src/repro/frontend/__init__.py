@@ -1,0 +1,21 @@
+"""C-subset front-end: lexer, parser, semantic analysis and IR lowering."""
+
+from repro.frontend.lexer import LexerError, Token, TokenKind, count_code_lines, tokenize
+from repro.frontend.lowering import LoweringError, compile_c, lower_program
+from repro.frontend.parser import ParseError, parse
+from repro.frontend.semantic import SemanticError, analyze
+
+__all__ = [
+    "LexerError",
+    "LoweringError",
+    "ParseError",
+    "SemanticError",
+    "Token",
+    "TokenKind",
+    "analyze",
+    "compile_c",
+    "count_code_lines",
+    "lower_program",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,172 @@
+"""Abstract syntax tree for the C subset.
+
+Nodes are plain dataclasses; the parser builds them and the lowering
+pass (``repro.frontend.lowering``) walks them to emit IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.types import IntType, Type
+
+
+@dataclass
+class Node:
+    """Base AST node with a source line for diagnostics."""
+
+    line: int
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class NumberLit(Expr):
+    value: int
+
+
+@dataclass
+class NameRef(Expr):
+    name: str
+
+
+@dataclass
+class ArrayRef(Expr):
+    name: str
+    index: Expr
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str  # '-', '!', '~', '+'
+    operand: Expr
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str  # '+', '-', '*', '/', '%', '<<', '>>', '&', '|', '^',
+    # '<', '<=', '>', '>=', '==', '!=', '&&', '||'
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class TernaryExpr(Expr):
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str
+    args: list[Expr]
+
+
+@dataclass
+class CastExpr(Expr):
+    target: IntType
+    operand: Expr
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class DeclStmt(Stmt):
+    """Scalar or array declaration, optionally initialized."""
+
+    type: Type
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+    array_init: Optional[list[int]] = None
+    is_const: bool = False
+
+
+@dataclass
+class AssignStmt(Stmt):
+    """``target = value`` or ``target[index] = value``."""
+
+    name: str
+    value: Expr
+    index: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: list[Stmt]
+    is_do_while: bool = False
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: list[Stmt]
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+@dataclass
+class Param(Node):
+    type: Type
+    name: str
+    array_size: Optional[int] = None  # None for scalars; arrays use size or 0
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    return_type: Type
+    params: list[Param]
+    body: list[Stmt]
+
+
+@dataclass
+class Program(Node):
+    functions: list[FunctionDef]
+    globals: list[DeclStmt] = field(default_factory=list)
+    source_lines: int = 0

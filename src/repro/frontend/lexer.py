@@ -1,0 +1,266 @@
+"""Lexer for the C subset accepted by the repro front-end.
+
+The token stream feeds the recursive-descent parser in
+``repro.frontend.parser``.  The subset covers the constructs the five
+TAO benchmarks need: integer types, arrays, the full C expression
+grammar, ``if``/``else``, ``for``, ``while``, ``do``, ``break``,
+``continue``, ``return``, function definitions and calls, and
+``#define`` object-like macros (expanded textually, like ``cpp``).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    CHARLIT = "charlit"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "void",
+        "char",
+        "short",
+        "int",
+        "long",
+        "unsigned",
+        "signed",
+        "bool",
+        "if",
+        "else",
+        "for",
+        "while",
+        "do",
+        "break",
+        "continue",
+        "return",
+        "const",
+        "static",
+        "switch",
+        "case",
+        "default",
+    }
+)
+
+# Ordered longest-first so maximal munch works.
+PUNCTUATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with source position for diagnostics."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.line}:{self.column}"
+
+
+class LexerError(Exception):
+    """Raised on characters the lexer cannot tokenize."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, col {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+_NUMBER_RE = re.compile(r"0[xX][0-9a-fA-F]+|\d+")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+([A-Za-z_][A-Za-z0-9_]*)\s+(.*?)\s*$")
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+def _strip_comments(source: str) -> str:
+    """Remove // and /* */ comments, preserving line numbers."""
+    out: list[str] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexerError("unterminated block comment", 1, 1)
+            out.append("\n" * source.count("\n", i, end + 2))
+            i = end + 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _expand_defines(source: str) -> str:
+    """Expand object-like ``#define NAME VALUE`` macros textually."""
+    defines: dict[str, str] = {}
+    lines = []
+    for line in source.split("\n"):
+        match = _DEFINE_RE.match(line)
+        if match:
+            name, value = match.group(1), match.group(2)
+            # Expand previously-seen macros inside the replacement text.
+            for prior, replacement in defines.items():
+                value = re.sub(rf"\b{re.escape(prior)}\b", replacement, value)
+            defines[name] = value
+            lines.append("")  # keep line numbering stable
+        else:
+            lines.append(line)
+    text = "\n".join(lines)
+    for name, value in defines.items():
+        text = re.sub(rf"\b{re.escape(name)}\b", f"({value})", text)
+    return text
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert C-subset source text into a token list ending with EOF."""
+    text = _expand_defines(_strip_comments(source))
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            # Unsupported directive (e.g. #include) — skip the line.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            token, length = _lex_char(text, i, line, col)
+            tokens.append(token)
+            i += length
+            col += length
+            continue
+        match = _NUMBER_RE.match(text, i)
+        if match and ch.isdigit():
+            literal = match.group(0)
+            # Swallow C suffixes (u, U, l, L combinations).
+            j = match.end()
+            while j < n and text[j] in "uUlL":
+                j += 1
+            literal_full = text[i:j]
+            tokens.append(Token(TokenKind.NUMBER, literal, line, col))
+            length = j - i
+            i = j
+            col += length
+            continue
+        match = _IDENT_RE.match(text, i)
+        if match:
+            word = match.group(0)
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, line, col))
+            i = match.end()
+            col += len(word)
+            continue
+        for punct in PUNCTUATORS:
+            if text.startswith(punct, i):
+                tokens.append(Token(TokenKind.PUNCT, punct, line, col))
+                i += len(punct)
+                col += len(punct)
+                break
+        else:
+            raise LexerError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens
+
+
+def _lex_char(text: str, i: int, line: int, col: int) -> tuple[Token, int]:
+    """Lex a character literal starting at ``text[i] == \"'\"``."""
+    if i + 1 >= len(text):
+        raise LexerError("unterminated character literal", line, col)
+    if text[i + 1] == "\\":
+        if i + 3 >= len(text) or text[i + 3] != "'":
+            raise LexerError("bad escape in character literal", line, col)
+        escape = text[i + 2]
+        if escape not in _ESCAPES:
+            raise LexerError(f"unknown escape \\{escape}", line, col)
+        value = ord(_ESCAPES[escape])
+        return Token(TokenKind.CHARLIT, str(value), line, col), 4
+    if i + 2 >= len(text) or text[i + 2] != "'":
+        raise LexerError("unterminated character literal", line, col)
+    value = ord(text[i + 1])
+    return Token(TokenKind.CHARLIT, str(value), line, col), 3
+
+
+def count_code_lines(source: str) -> int:
+    """Count non-blank, non-comment-only source lines (Table 1's # C lines)."""
+    stripped = _strip_comments(source)
+    return sum(1 for ln in stripped.split("\n") if ln.strip())

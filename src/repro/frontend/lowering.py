@@ -1,0 +1,518 @@
+"""AST-to-IR lowering.
+
+Walks the validated AST and emits three-address IR.  Notable semantic
+choices (documented restrictions of the subset):
+
+* ``&&`` and ``||`` are lowered arithmetically (both sides always
+  evaluated) as ``(a != 0) & (b != 0)``; this matches how HLS tools
+  if-convert side-effect-free conditions.
+* The ternary operator lowers to a diamond of control flow writing a
+  fresh variable.
+* Division or remainder by zero yields 0 at simulation time (hardware
+  semantics must be total).
+* Integer promotion follows C: operands of binary arithmetic are
+  computed in ``common_type(lhs, rhs, int)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.frontend.semantic import analyze
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import INT32, ArrayType, IntType, common_type
+from repro.ir.values import ArrayValue, Constant, Temp, Value, Variable
+from repro.ir.verifier import verify_module
+
+_BINOP_MAP = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.REM,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+    "==": Opcode.EQ,
+    "!=": Opcode.NE,
+    "<": Opcode.LT,
+    "<=": Opcode.LE,
+    ">": Opcode.GT,
+    ">=": Opcode.GE,
+}
+
+_BOOL = IntType(1, signed=False)
+
+
+class LoweringError(Exception):
+    """Raised on constructs the lowering pass cannot handle."""
+
+
+class _FunctionLowering:
+    """Lowers one AST function into an IR function."""
+
+    _fresh = itertools.count()
+
+    def __init__(self, module: Module, func_ast: ast.FunctionDef, program: ast.Program):
+        self.module = module
+        self.program = program
+        self.func_ast = func_ast
+        self.func = Function(func_ast.name, func_ast.return_type)
+        self.builder = IRBuilder(self.func)
+        self.scopes: list[dict[str, Value]] = [{}]
+        # (continue_target, break_target) stack for loop control.
+        self.loop_stack: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Scope helpers
+    # ------------------------------------------------------------------
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, value: Value) -> None:
+        self.scopes[-1][name] = value
+
+    def lookup(self, name: str) -> Value:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise LoweringError(f"unbound name {name!r}")  # pragma: no cover
+
+    def fresh_var(self, type_: IntType, hint: str) -> Variable:
+        return Variable(type_, f"{hint}.{next(self._fresh)}")
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def lower(self) -> Function:
+        for param in self.func_ast.params:
+            assert isinstance(param.type, IntType)
+            if param.array_size is not None:
+                size = param.array_size if param.array_size > 0 else 1
+                value: Value = ArrayValue(
+                    ArrayType(param.type, size), param.name, is_param=True
+                )
+            else:
+                value = Variable(param.type, param.name, is_param=True)
+            self.func.add_param(value)
+            self.declare(param.name, value)
+        # Globals visible inside every function: const arrays/scalars are
+        # materialized per function (they are ROMs after HLS).
+        for decl in self.program.globals:
+            self._lower_global(decl)
+        entry = self.builder.new_block("entry")
+        self.builder.set_block(entry)
+        self.lower_body(self.func_ast.body)
+        if not self.builder.block.is_terminated:
+            if self.func.returns_value:
+                # Semantic analysis guarantees a return on every path for
+                # value-returning functions, but straight-line fallthrough
+                # after a returning if-else still needs a terminator.
+                zero = Constant(0, self.func.return_type)  # type: ignore[arg-type]
+                self.builder.ret(zero)
+            else:
+                self.builder.ret()
+        self._terminate_open_blocks()
+        self._drop_unreferenced_globals()
+        return self.func
+
+    def _drop_unreferenced_globals(self) -> None:
+        """Remove global ROM copies this function never touches."""
+        referenced = {
+            inst.array.name
+            for inst in self.func.instructions()
+            if inst.array is not None
+        }
+        for inst in self.func.instructions():
+            for bound in inst.array_args.values():
+                referenced.add(bound.name)
+        global_names = {decl.name for decl in self.program.globals}
+        for name in list(self.func.arrays):
+            array = self.func.arrays[name]
+            if array.is_param or name in referenced:
+                continue
+            if name in global_names:
+                del self.func.arrays[name]
+
+    def _lower_global(self, decl: ast.DeclStmt) -> None:
+        assert isinstance(decl.type, IntType)
+        if decl.array_size is not None:
+            init = list(decl.array_init or [])
+            init += [0] * (decl.array_size - len(init))
+            array = ArrayValue(
+                ArrayType(decl.type, decl.array_size),
+                decl.name,
+                initializer=init,
+            )
+            if decl.name not in self.func.arrays:
+                self.func.add_array(array)
+            self.declare(decl.name, array)
+        else:
+            if decl.init is None or not isinstance(decl.init, ast.NumberLit):
+                raise LoweringError(
+                    f"global scalar {decl.name!r} needs a literal initializer"
+                )
+            self.declare(decl.name, Constant(decl.init.value, decl.type))
+
+    def _terminate_open_blocks(self) -> None:
+        """Close blocks left open by break/continue/return rewiring."""
+        for block in self.func.blocks.values():
+            if not block.is_terminated:
+                if self.func.returns_value:
+                    zero = Constant(0, self.func.return_type)  # type: ignore[arg-type]
+                    block.append(Instruction(Opcode.RET, operands=[zero]))
+                else:
+                    block.append(Instruction(Opcode.RET))
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def lower_body(self, body: list[ast.Stmt]) -> None:
+        for stmt in body:
+            if self.builder.block.is_terminated:
+                break  # unreachable code after return/break/continue
+            self.lower_stmt(stmt)
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            self._lower_decl(stmt)
+        elif isinstance(stmt, ast.AssignStmt):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.BreakStmt):
+            __, break_target = self.loop_stack[-1]
+            self.builder.jump(break_target)
+        elif isinstance(stmt, ast.ContinueStmt):
+            continue_target, __ = self.loop_stack[-1]
+            self.builder.jump(continue_target)
+        elif isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is not None:
+                value = self.lower_expr(stmt.value)
+                value = self._coerce(value, self.func.return_type)  # type: ignore[arg-type]
+                self.builder.ret(value)
+            else:
+                self.builder.ret()
+        else:  # pragma: no cover - defensive
+            raise LoweringError(f"unhandled statement {type(stmt).__name__}")
+
+    def _lower_decl(self, stmt: ast.DeclStmt) -> None:
+        assert isinstance(stmt.type, IntType)
+        if stmt.array_size is not None:
+            init = None
+            if stmt.array_init is not None:
+                init = list(stmt.array_init)
+                init += [0] * (stmt.array_size - len(init))
+            name = stmt.name
+            if name in self.func.arrays:
+                name = f"{stmt.name}.{next(self._fresh)}"
+            array = ArrayValue(
+                ArrayType(stmt.type, stmt.array_size), name, initializer=init
+            )
+            self.func.add_array(array)
+            self.declare(stmt.name, array)
+            return
+        var = Variable(stmt.type, self._unique_var_name(stmt.name))
+        self.declare(stmt.name, var)
+        if stmt.init is not None:
+            value = self.lower_expr(stmt.init)
+            self.builder.mov(self._coerce(value, stmt.type), var)
+
+    def _unique_var_name(self, name: str) -> str:
+        """Disambiguate shadowed declarations across scopes."""
+        existing = {
+            v.name
+            for scope in self.scopes
+            for v in scope.values()
+            if isinstance(v, Variable)
+        }
+        if name not in existing:
+            return name
+        return f"{name}.{next(self._fresh)}"
+
+    def _lower_assign(self, stmt: ast.AssignStmt) -> None:
+        target = self.lookup(stmt.name)
+        value = self.lower_expr(stmt.value)
+        if stmt.index is not None:
+            assert isinstance(target, ArrayValue)
+            index = self.lower_expr(stmt.index)
+            self.builder.store(target, index, self._coerce(value, target.element_type))
+        else:
+            assert isinstance(target, Variable)
+            assert isinstance(target.type, IntType)
+            self.builder.mov(self._coerce(value, target.type), target)
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond = self._lower_condition(stmt.cond)
+        if isinstance(cond, Constant):
+            # Constant condition: lower only the taken side.
+            body = stmt.then_body if cond.value else stmt.else_body
+            self.push_scope()
+            self.lower_body(body)
+            self.pop_scope()
+            return
+        then_block = self.builder.new_block("if.then")
+        merge_block = self.builder.new_block("if.end")
+        if stmt.else_body:
+            else_block = self.builder.new_block("if.else")
+            self.builder.branch(cond, then_block.name, else_block.name)
+        else:
+            self.builder.branch(cond, then_block.name, merge_block.name)
+        self.builder.set_block(then_block)
+        self.push_scope()
+        self.lower_body(stmt.then_body)
+        self.pop_scope()
+        if not self.builder.block.is_terminated:
+            self.builder.jump(merge_block.name)
+        if stmt.else_body:
+            self.builder.set_block(else_block)
+            self.push_scope()
+            self.lower_body(stmt.else_body)
+            self.pop_scope()
+            if not self.builder.block.is_terminated:
+                self.builder.jump(merge_block.name)
+        self.builder.set_block(merge_block)
+
+    def _lower_while(self, stmt: ast.WhileStmt) -> None:
+        cond_block = self.builder.new_block("while.cond")
+        body_block = self.builder.new_block("while.body")
+        exit_block = self.builder.new_block("while.end")
+        if stmt.is_do_while:
+            self.builder.jump(body_block.name)
+        else:
+            self.builder.jump(cond_block.name)
+        self.builder.set_block(cond_block)
+        cond = self._lower_condition(stmt.cond)
+        self.builder.branch(cond, body_block.name, exit_block.name)
+        self.builder.set_block(body_block)
+        self.loop_stack.append((cond_block.name, exit_block.name))
+        self.push_scope()
+        self.lower_body(stmt.body)
+        self.pop_scope()
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.jump(cond_block.name)
+        self.builder.set_block(exit_block)
+
+    def _lower_for(self, stmt: ast.ForStmt) -> None:
+        self.push_scope()
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        cond_block = self.builder.new_block("for.cond")
+        body_block = self.builder.new_block("for.body")
+        step_block = self.builder.new_block("for.step")
+        exit_block = self.builder.new_block("for.end")
+        self.builder.jump(cond_block.name)
+        self.builder.set_block(cond_block)
+        if stmt.cond is not None:
+            cond = self._lower_condition(stmt.cond)
+            self.builder.branch(cond, body_block.name, exit_block.name)
+        else:
+            self.builder.jump(body_block.name)
+        self.builder.set_block(body_block)
+        self.loop_stack.append((step_block.name, exit_block.name))
+        self.push_scope()
+        self.lower_body(stmt.body)
+        self.pop_scope()
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.jump(step_block.name)
+        self.builder.set_block(step_block)
+        if stmt.step is not None:
+            self.lower_stmt(stmt.step)
+        self.builder.jump(cond_block.name)
+        self.builder.set_block(exit_block)
+        self.pop_scope()
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def lower_expr(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.NumberLit):
+            width = max(32, expr.value.bit_length() + 1)
+            return Constant(expr.value, IntType(width, signed=True))
+        if isinstance(expr, ast.NameRef):
+            return self.lookup(expr.name)
+        if isinstance(expr, ast.ArrayRef):
+            array = self.lookup(expr.name)
+            assert isinstance(array, ArrayValue)
+            index = self.lower_expr(expr.index)
+            return self.builder.load(array, index)
+        if isinstance(expr, ast.UnaryExpr):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.BinaryExpr):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.TernaryExpr):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.CastExpr):
+            operand = self.lower_expr(expr.operand)
+            return self._coerce(operand, expr.target, force=True)
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr)
+        raise LoweringError(f"unhandled expression {type(expr).__name__}")
+
+    def _lower_unary(self, expr: ast.UnaryExpr) -> Value:
+        operand = self.lower_expr(expr.operand)
+        if isinstance(operand, Constant):
+            folded = self._fold_unary(expr.op, operand)
+            if folded is not None:
+                return folded
+        assert isinstance(operand.type, IntType)
+        promoted = common_type(operand.type, INT32)
+        if expr.op == "-":
+            return self.builder.unary(Opcode.NEG, operand, promoted)
+        if expr.op == "~":
+            return self.builder.unary(Opcode.NOT, operand, promoted)
+        if expr.op == "!":
+            zero = Constant(0, operand.type)
+            return self.builder.binary(Opcode.EQ, operand, zero, _BOOL)
+        raise LoweringError(f"unhandled unary {expr.op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _fold_unary(op: str, operand: Constant) -> Optional[Constant]:
+        if op == "-":
+            return Constant(-operand.value, operand.type)
+        if op == "~":
+            return Constant(~operand.value, operand.type)
+        if op == "!":
+            return Constant(0 if operand.value else 1, _BOOL)
+        return None
+
+    def _lower_binary(self, expr: ast.BinaryExpr) -> Value:
+        if expr.op in ("&&", "||"):
+            lhs = self._to_bool(self.lower_expr(expr.lhs))
+            rhs = self._to_bool(self.lower_expr(expr.rhs))
+            opcode = Opcode.AND if expr.op == "&&" else Opcode.OR
+            if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+                if expr.op == "&&":
+                    return Constant(int(bool(lhs.value and rhs.value)), _BOOL)
+                return Constant(int(bool(lhs.value or rhs.value)), _BOOL)
+            return self.builder.binary(opcode, lhs, rhs, _BOOL)
+        lhs = self.lower_expr(expr.lhs)
+        rhs = self.lower_expr(expr.rhs)
+        opcode = _BINOP_MAP[expr.op]
+        assert isinstance(lhs.type, IntType) and isinstance(rhs.type, IntType)
+        if opcode in (
+            Opcode.EQ,
+            Opcode.NE,
+            Opcode.LT,
+            Opcode.LE,
+            Opcode.GT,
+            Opcode.GE,
+        ):
+            return self.builder.binary(opcode, lhs, rhs, _BOOL)
+        if opcode in (Opcode.SHL, Opcode.SHR):
+            result_type = common_type(lhs.type, INT32)
+        else:
+            result_type = common_type(common_type(lhs.type, rhs.type), INT32)
+        return self.builder.binary(opcode, lhs, rhs, result_type)
+
+    def _lower_ternary(self, expr: ast.TernaryExpr) -> Value:
+        cond = self._lower_condition(expr.cond)
+        if isinstance(cond, Constant):
+            return self.lower_expr(expr.if_true if cond.value else expr.if_false)
+        result = self.fresh_var(INT32, "sel")
+        then_block = self.builder.new_block("sel.then")
+        else_block = self.builder.new_block("sel.else")
+        merge_block = self.builder.new_block("sel.end")
+        self.builder.branch(cond, then_block.name, else_block.name)
+        self.builder.set_block(then_block)
+        true_value = self.lower_expr(expr.if_true)
+        self.builder.mov(true_value, result)
+        self.builder.jump(merge_block.name)
+        self.builder.set_block(else_block)
+        false_value = self.lower_expr(expr.if_false)
+        self.builder.mov(false_value, result)
+        self.builder.jump(merge_block.name)
+        self.builder.set_block(merge_block)
+        return result
+
+    def _lower_call(self, expr: ast.CallExpr) -> Value:
+        callee_ast = next(f for f in self.program.functions if f.name == expr.callee)
+        scalar_args: list[Value] = []
+        array_args: dict[str, ArrayValue] = {}
+        for arg, param in zip(expr.args, callee_ast.params):
+            if param.array_size is not None:
+                assert isinstance(arg, ast.NameRef)
+                bound = self.lookup(arg.name)
+                assert isinstance(bound, ArrayValue)
+                array_args[param.name] = bound
+            else:
+                value = self.lower_expr(arg)
+                assert isinstance(param.type, IntType)
+                scalar_args.append(self._coerce(value, param.type))
+        result: Optional[Value] = None
+        result_type: Optional[IntType] = None
+        if isinstance(callee_ast.return_type, IntType):
+            result_type = callee_ast.return_type
+            result = Temp(result_type)
+        inst = Instruction(
+            Opcode.CALL,
+            result=result,
+            operands=scalar_args,
+            callee=expr.callee,
+            array_args=array_args,
+        )
+        self.builder.emit(inst)
+        return result if result is not None else Constant(0, INT32)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _lower_condition(self, expr: ast.Expr) -> Value:
+        value = self.lower_expr(expr)
+        return self._to_bool(value)
+
+    def _to_bool(self, value: Value) -> Value:
+        assert isinstance(value.type, IntType)
+        if isinstance(value, Constant):
+            return Constant(int(bool(value.value)), _BOOL)
+        if value.type == _BOOL:
+            return value
+        zero = Constant(0, value.type)
+        return self.builder.binary(Opcode.NE, value, zero, _BOOL)
+
+    def _coerce(self, value: Value, target: IntType, force: bool = False) -> Value:
+        """Insert a width-changing MOV when types differ materially."""
+        assert isinstance(value.type, IntType)
+        if value.type == target:
+            return value
+        if isinstance(value, Constant):
+            return Constant(value.value, target)
+        if not force and value.type.width == target.width:
+            return value
+        return self.builder.unary(Opcode.MOV, value, target)
+
+
+def lower_program(program: ast.Program, name: str = "module") -> Module:
+    """Lower a validated AST program into an IR module."""
+    module = Module(name)
+    module.source_lines = program.source_lines
+    for func_ast in program.functions:
+        lowering = _FunctionLowering(module, func_ast, program)
+        module.add_function(lowering.lower())
+    verify_module(module)
+    return module
+
+
+def compile_c(source: str, name: str = "module") -> Module:
+    """Front-end driver: parse, analyze and lower C-subset source."""
+    program = parse(source)
+    analyze(program)
+    return lower_program(program, name)

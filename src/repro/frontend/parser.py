@@ -1,0 +1,617 @@
+"""Recursive-descent parser for the C subset.
+
+Grammar (informal):
+
+    program     := (function | global-decl)*
+    function    := type IDENT '(' params? ')' block
+    params      := param (',' param)*
+    param       := type IDENT ('[' NUMBER? ']')?
+    block       := '{' stmt* '}'
+    stmt        := decl | assign | if | while | do-while | for
+                 | break ';' | continue ';' | return expr? ';'
+                 | expr ';' | block
+    expr        := ternary with full C precedence below it
+
+Precedence (low to high): ``?:``, ``||``, ``&&``, ``|``, ``^``, ``&``,
+equality, relational, shifts, additive, multiplicative, unary, postfix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import Token, TokenKind, count_code_lines, tokenize
+from repro.ir.types import C_TYPE_NAMES, IntType, Type, VoidType
+
+
+class ParseError(Exception):
+    """Raised on syntax errors with source position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}, col {token.column}: {message}")
+        self.token = token
+
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.frontend.ast_nodes.Program`."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        return self.current.text == text and self.current.kind in (
+            TokenKind.PUNCT,
+            TokenKind.KEYWORD,
+        )
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise ParseError(f"expected {text!r}, found {self.current.text!r}", self.current)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise ParseError(
+                f"expected identifier, found {self.current.text!r}", self.current
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def at_type(self) -> bool:
+        text = self.current.text
+        return self.current.kind is TokenKind.KEYWORD and text in (
+            "void",
+            "char",
+            "short",
+            "int",
+            "long",
+            "unsigned",
+            "signed",
+            "bool",
+            "const",
+            "static",
+        )
+
+    def parse_type(self) -> tuple[Type, bool]:
+        """Parse a type specifier; returns (type, is_const)."""
+        is_const = False
+        while self.check("const") or self.check("static"):
+            if self.current.text == "const":
+                is_const = True
+            self.advance()
+        signedness: Optional[bool] = None
+        if self.check("unsigned"):
+            self.advance()
+            signedness = False
+        elif self.check("signed"):
+            self.advance()
+            signedness = True
+        base = "int"
+        if self.current.kind is TokenKind.KEYWORD and self.current.text in (
+            "void",
+            "char",
+            "short",
+            "int",
+            "long",
+            "bool",
+        ):
+            base = self.advance().text
+            if base == "long":
+                self.accept("long")  # 'long long'
+                self.accept("int")  # 'long int'
+            elif base == "short":
+                self.accept("int")  # 'short int'
+        elif signedness is None:
+            raise ParseError(f"expected type, found {self.current.text!r}", self.current)
+        # const-ness after the base type too (e.g. 'int const').
+        while self.check("const"):
+            is_const = True
+            self.advance()
+        type_ = C_TYPE_NAMES[base]
+        if isinstance(type_, IntType) and signedness is not None:
+            type_ = IntType(type_.width, signedness)
+        return type_, is_const
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        functions: list[ast.FunctionDef] = []
+        globals_: list[ast.DeclStmt] = []
+        while self.current.kind is not TokenKind.EOF:
+            line = self.current.line
+            type_, is_const = self.parse_type()
+            name = self.expect_ident().text
+            if self.check("("):
+                functions.append(self._parse_function(type_, name, line))
+            else:
+                globals_.append(self._parse_decl_tail(type_, name, is_const, line))
+        return ast.Program(line=1, functions=functions, globals=globals_)
+
+    def _parse_function(self, return_type: Type, name: str, line: int) -> ast.FunctionDef:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.check(")"):
+            if self.check("void") and self.peek().text == ")":
+                self.advance()
+            else:
+                params.append(self._parse_param())
+                while self.accept(","):
+                    params.append(self._parse_param())
+        self.expect(")")
+        body = self.parse_block()
+        return ast.FunctionDef(
+            line=line, name=name, return_type=return_type, params=params, body=body
+        )
+
+    def _parse_param(self) -> ast.Param:
+        line = self.current.line
+        type_, _ = self.parse_type()
+        name = self.expect_ident().text
+        array_size: Optional[int] = None
+        if self.accept("["):
+            if self.current.kind is TokenKind.NUMBER:
+                array_size = int(self.advance().text, 0)
+            else:
+                array_size = 0  # unsized array parameter
+            self.expect("]")
+        return ast.Param(line=line, type=type_, name=name, array_size=array_size)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self.check("}"):
+            if self.current.kind is TokenKind.EOF:
+                raise ParseError("unexpected end of file in block", self.current)
+            stmts.append(self.parse_statement())
+        self.expect("}")
+        return stmts
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if self.check("{"):
+            # Flatten nested bare blocks into an if(1) wrapper-free list:
+            # represent as IfStmt with constant true? Simpler: inline.
+            body = self.parse_block()
+            return ast.IfStmt(
+                line=token.line,
+                cond=ast.NumberLit(line=token.line, value=1),
+                then_body=body,
+            )
+        if self.at_type():
+            type_, is_const = self.parse_type()
+            name = self.expect_ident().text
+            decl = self._parse_decl_tail(type_, name, is_const, token.line)
+            return decl
+        if self.check("if"):
+            return self._parse_if()
+        if self.check("while"):
+            return self._parse_while()
+        if self.check("do"):
+            return self._parse_do_while()
+        if self.check("for"):
+            return self._parse_for()
+        if self.check("switch"):
+            return self._parse_switch()
+        if self.accept("break"):
+            self.expect(";")
+            return ast.BreakStmt(line=token.line)
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.ContinueStmt(line=token.line)
+        if self.accept("return"):
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return ast.ReturnStmt(line=token.line, value=value)
+        stmt = self._parse_simple_statement()
+        self.expect(";")
+        return stmt
+
+    def _parse_decl_tail(
+        self, type_: Type, name: str, is_const: bool, line: int
+    ) -> ast.DeclStmt:
+        """Parse the remainder of a declaration after ``type name``."""
+        if isinstance(type_, VoidType):
+            raise ParseError("cannot declare a void variable", self.current)
+        array_size: Optional[int] = None
+        array_init: Optional[list[int]] = None
+        init: Optional[ast.Expr] = None
+        if self.accept("["):
+            if self.current.kind is not TokenKind.NUMBER:
+                raise ParseError("array size must be a literal", self.current)
+            array_size = int(self.advance().text, 0)
+            self.expect("]")
+            if self.accept("="):
+                array_init = self._parse_array_initializer()
+        elif self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.DeclStmt(
+            line=line,
+            type=type_,
+            name=name,
+            array_size=array_size,
+            init=init,
+            array_init=array_init,
+            is_const=is_const,
+        )
+
+    def _parse_array_initializer(self) -> list[int]:
+        self.expect("{")
+        values: list[int] = []
+        while not self.check("}"):
+            negative = self.accept("-")
+            if self.current.kind not in (TokenKind.NUMBER, TokenKind.CHARLIT):
+                raise ParseError("array initializer must be literal", self.current)
+            value = int(self.advance().text, 0)
+            values.append(-value if negative else value)
+            if not self.accept(","):
+                break
+        self.expect("}")
+        return values
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """Assignment, compound assignment, increment, or expression."""
+        token = self.current
+        if token.kind is TokenKind.IDENT:
+            name = token.text
+            nxt = self.peek()
+            if nxt.text in _ASSIGN_OPS and nxt.kind is TokenKind.PUNCT:
+                self.advance()
+                op = self.advance().text
+                value = self.parse_expr()
+                return self._make_assign(name, None, op, value, token.line)
+            if nxt.text in ("++", "--") and nxt.kind is TokenKind.PUNCT:
+                self.advance()
+                op_token = self.advance().text
+                one = ast.NumberLit(line=token.line, value=1)
+                op = "+=" if op_token == "++" else "-="
+                return self._make_assign(name, None, op, one, token.line)
+            if nxt.text == "[":
+                # Could be array assignment or an array-read expression.
+                save = self.pos
+                self.advance()  # ident
+                self.advance()  # '['
+                index = self.parse_expr()
+                self.expect("]")
+                if self.current.text in _ASSIGN_OPS:
+                    op = self.advance().text
+                    value = self.parse_expr()
+                    return self._make_assign(name, index, op, value, token.line)
+                if self.current.text in ("++", "--"):
+                    op_token = self.advance().text
+                    one = ast.NumberLit(line=token.line, value=1)
+                    op = "+=" if op_token == "++" else "-="
+                    return self._make_assign(name, index, op, one, token.line)
+                self.pos = save
+        if token.text in ("++", "--") and token.kind is TokenKind.PUNCT:
+            op_token = self.advance().text
+            name = self.expect_ident().text
+            one = ast.NumberLit(line=token.line, value=1)
+            op = "+=" if op_token == "++" else "-="
+            return self._make_assign(name, None, op, one, token.line)
+        expr = self.parse_expr()
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _make_assign(
+        self,
+        name: str,
+        index: Optional[ast.Expr],
+        op: str,
+        value: ast.Expr,
+        line: int,
+    ) -> ast.AssignStmt:
+        if op != "=":
+            binop = op[:-1]
+            target: ast.Expr
+            if index is None:
+                target = ast.NameRef(line=line, name=name)
+            else:
+                target = ast.ArrayRef(line=line, name=name, index=index)
+            value = ast.BinaryExpr(line=line, op=binop, lhs=target, rhs=value)
+        return ast.AssignStmt(line=line, name=name, value=value, index=index)
+
+    def _parse_if(self) -> ast.IfStmt:
+        token = self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_body = self._parse_body()
+        else_body: list[ast.Stmt] = []
+        if self.accept("else"):
+            if self.check("if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_body()
+        return ast.IfStmt(
+            line=token.line, cond=cond, then_body=then_body, else_body=else_body
+        )
+
+    def _parse_while(self) -> ast.WhileStmt:
+        token = self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self._parse_body()
+        return ast.WhileStmt(line=token.line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.WhileStmt:
+        token = self.expect("do")
+        body = self._parse_body()
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return ast.WhileStmt(line=token.line, cond=cond, body=body, is_do_while=True)
+
+    def _parse_for(self) -> ast.ForStmt:
+        token = self.expect("for")
+        self.expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self.check(";"):
+            if self.at_type():
+                type_, is_const = self.parse_type()
+                name = self.expect_ident().text
+                init_expr: Optional[ast.Expr] = None
+                if self.accept("="):
+                    init_expr = self.parse_expr()
+                init = ast.DeclStmt(
+                    line=token.line,
+                    type=type_,
+                    name=name,
+                    init=init_expr,
+                    is_const=is_const,
+                )
+            else:
+                init = self._parse_simple_statement()
+        self.expect(";")
+        cond = None if self.check(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.check(")") else self._parse_simple_statement()
+        self.expect(")")
+        body = self._parse_body()
+        return ast.ForStmt(line=token.line, init=init, cond=cond, step=step, body=body)
+
+    def _parse_body(self) -> list[ast.Stmt]:
+        if self.check("{"):
+            return self.parse_block()
+        return [self.parse_statement()]
+
+    _switch_counter = 0
+
+    def _parse_switch(self) -> ast.Stmt:
+        """Parse ``switch`` and desugar to an if/else-if chain.
+
+        Restriction (typical for HLS subsets): every non-empty case
+        group must end with ``break`` (or be the final group / a
+        ``return``); fall-through into another group is rejected.  Case
+        labels must be integer literals (possibly negated).  The chain
+        tests a cached selector variable, so each case decision becomes
+        one conditional branch — and therefore one TAO key bit
+        (paper §3.3.3's switch-case note).
+        """
+        token = self.expect("switch")
+        self.expect("(")
+        selector_expr = self.parse_expr()
+        self.expect(")")
+        self.expect("{")
+        groups: list[tuple[list[int], list[ast.Stmt]]] = []
+        default_body: Optional[list[ast.Stmt]] = None
+        while not self.check("}"):
+            labels: list[int] = []
+            is_default = False
+            while self.check("case") or self.check("default"):
+                if self.accept("case"):
+                    negative = self.accept("-")
+                    if self.current.kind not in (TokenKind.NUMBER, TokenKind.CHARLIT):
+                        raise ParseError(
+                            "case label must be an integer literal", self.current
+                        )
+                    value = int(self.advance().text, 0)
+                    labels.append(-value if negative else value)
+                else:
+                    self.accept("default")
+                    is_default = True
+                self.expect(":")
+            if not labels and not is_default:
+                raise ParseError(
+                    f"expected 'case' or 'default', found {self.current.text!r}",
+                    self.current,
+                )
+            body: list[ast.Stmt] = []
+            saw_break = False
+            while not (
+                self.check("case") or self.check("default") or self.check("}")
+            ):
+                if self.accept("break"):
+                    self.expect(";")
+                    saw_break = True
+                    break
+                body.append(self.parse_statement())
+            ends_in_return = bool(body) and isinstance(body[-1], ast.ReturnStmt)
+            at_end = self.check("}")
+            if body and not saw_break and not ends_in_return and not at_end:
+                raise ParseError(
+                    "switch fall-through is not supported; end the case "
+                    "with 'break' or 'return'",
+                    self.current,
+                )
+            if is_default:
+                default_body = body
+            else:
+                groups.append((labels, body))
+        self.expect("}")
+
+        # Desugar: cache the selector, then chain equality tests.
+        Parser._switch_counter += 1
+        selector_name = f"__switch{Parser._switch_counter}"
+        from repro.ir.types import INT32
+
+        decl = ast.DeclStmt(
+            line=token.line, type=INT32, name=selector_name, init=selector_expr
+        )
+        chain: list[ast.Stmt] = list(default_body or [])
+        for labels, body in reversed(groups):
+            condition: Optional[ast.Expr] = None
+            for label in labels:
+                test: ast.Expr = ast.BinaryExpr(
+                    line=token.line,
+                    op="==",
+                    lhs=ast.NameRef(line=token.line, name=selector_name),
+                    rhs=ast.NumberLit(line=token.line, value=label),
+                )
+                condition = (
+                    test
+                    if condition is None
+                    else ast.BinaryExpr(
+                        line=token.line, op="||", lhs=condition, rhs=test
+                    )
+                )
+            assert condition is not None
+            chain = [
+                ast.IfStmt(
+                    line=token.line,
+                    cond=condition,
+                    then_body=body,
+                    else_body=chain,
+                )
+            ]
+        wrapper_body = [decl] + chain
+        return ast.IfStmt(
+            line=token.line,
+            cond=ast.NumberLit(line=token.line, value=1),
+            then_body=wrapper_body,
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self.accept("?"):
+            if_true = self.parse_expr()
+            self.expect(":")
+            if_false = self._parse_ternary()
+            return ast.TernaryExpr(
+                line=cond.line, cond=cond, if_true=if_true, if_false=if_false
+            )
+        return cond
+
+    _PRECEDENCE: list[list[str]] = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        lhs = self._parse_binary(level + 1)
+        ops = self._PRECEDENCE[level]
+        while self.current.kind is TokenKind.PUNCT and self.current.text in ops:
+            op = self.advance().text
+            rhs = self._parse_binary(level + 1)
+            lhs = ast.BinaryExpr(line=lhs.line, op=op, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.PUNCT and token.text in ("-", "!", "~", "+"):
+            self.advance()
+            operand = self._parse_unary()
+            if token.text == "+":
+                return operand
+            return ast.UnaryExpr(line=token.line, op=token.text, operand=operand)
+        if token.kind is TokenKind.PUNCT and token.text == "(":
+            # Could be a cast: '(' type ')' unary
+            save = self.pos
+            self.advance()
+            if self.at_type():
+                type_, _ = self.parse_type()
+                if self.check(")") and isinstance(type_, IntType):
+                    self.advance()
+                    operand = self._parse_unary()
+                    return ast.CastExpr(line=token.line, target=type_, operand=operand)
+            self.pos = save
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            return ast.NumberLit(line=token.line, value=int(token.text, 0))
+        if token.kind is TokenKind.CHARLIT:
+            self.advance()
+            return ast.NumberLit(line=token.line, value=int(token.text))
+        if token.kind is TokenKind.PUNCT and token.text == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            name = self.advance().text
+            if self.accept("("):
+                args: list[ast.Expr] = []
+                if not self.check(")"):
+                    args.append(self.parse_expr())
+                    while self.accept(","):
+                        args.append(self.parse_expr())
+                self.expect(")")
+                return ast.CallExpr(line=token.line, callee=name, args=args)
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                return ast.ArrayRef(line=token.line, name=name, index=index)
+            return ast.NameRef(line=token.line, name=name)
+        raise ParseError(f"unexpected token {token.text!r}", token)
+
+
+def parse(source: str) -> ast.Program:
+    """Parse C-subset source text into an AST program."""
+    program = Parser(tokenize(source)).parse_program()
+    program.source_lines = count_code_lines(source)
+    return program

@@ -1,0 +1,277 @@
+"""Semantic analysis for the C subset.
+
+Checks performed before lowering:
+
+* every name is declared before use and not redeclared in the same scope;
+* array accesses index declared arrays, scalar reads hit scalars;
+* called functions exist and arity matches;
+* ``break``/``continue`` appear inside loops;
+* non-void functions return a value on every path (conservatively:
+  a top-level return exists);
+* array initializers fit the declared size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.frontend import ast_nodes as ast
+from repro.ir.types import IntType, VoidType
+
+
+class SemanticError(Exception):
+    """Raised when the program violates the language rules."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass
+class Symbol:
+    name: str
+    type: IntType
+    is_array: bool
+    array_size: Optional[int] = None
+    is_const: bool = False
+
+
+class Scope:
+    """A lexical scope chained to its parent."""
+
+    def __init__(self, parent: Optional["Scope"] = None) -> None:
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol, line: int) -> None:
+        if symbol.name in self.symbols:
+            raise SemanticError(f"redeclaration of {symbol.name!r}", line)
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[Symbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Walks the AST and validates it against the language rules."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.functions = {f.name: f for f in program.functions}
+
+    def analyze(self) -> None:
+        if len(self.functions) != len(self.program.functions):
+            names = [f.name for f in self.program.functions]
+            dup = next(n for n in names if names.count(n) > 1)
+            raise SemanticError(f"duplicate function {dup!r}", 1)
+        global_scope = Scope()
+        for decl in self.program.globals:
+            self._declare(decl, global_scope)
+        for func in self.program.functions:
+            self._check_function(func, global_scope)
+
+    # ------------------------------------------------------------------
+    def _declare(self, decl: ast.DeclStmt, scope: Scope) -> None:
+        if not isinstance(decl.type, IntType):
+            raise SemanticError(f"{decl.name!r} must have integer type", decl.line)
+        is_array = decl.array_size is not None
+        if is_array and decl.array_size is not None and decl.array_size < 1:
+            raise SemanticError(f"array {decl.name!r} must have size >= 1", decl.line)
+        if decl.array_init is not None:
+            assert decl.array_size is not None
+            if len(decl.array_init) > decl.array_size:
+                raise SemanticError(
+                    f"too many initializers for {decl.name!r}", decl.line
+                )
+        scope.declare(
+            Symbol(
+                name=decl.name,
+                type=decl.type,
+                is_array=is_array,
+                array_size=decl.array_size,
+                is_const=decl.is_const,
+            ),
+            decl.line,
+        )
+
+    def _check_function(self, func: ast.FunctionDef, global_scope: Scope) -> None:
+        scope = Scope(global_scope)
+        for param in func.params:
+            if not isinstance(param.type, IntType):
+                raise SemanticError(
+                    f"parameter {param.name!r} must have integer type", param.line
+                )
+            scope.declare(
+                Symbol(
+                    name=param.name,
+                    type=param.type,
+                    is_array=param.array_size is not None,
+                    array_size=param.array_size,
+                ),
+                param.line,
+            )
+        self._check_body(func.body, scope, func, loop_depth=0)
+        if not isinstance(func.return_type, VoidType):
+            if not self._always_returns(func.body):
+                raise SemanticError(
+                    f"function {func.name!r} may not return a value", func.line
+                )
+
+    def _always_returns(self, body: list[ast.Stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.ReturnStmt):
+                return True
+            if isinstance(stmt, ast.IfStmt):
+                # Constant-true wrappers (e.g. desugared switch, bare
+                # blocks) return when their taken body does.
+                constant_true = (
+                    isinstance(stmt.cond, ast.NumberLit) and stmt.cond.value
+                )
+                if constant_true and self._always_returns(stmt.then_body):
+                    return True
+                if stmt.else_body:
+                    if self._always_returns(stmt.then_body) and self._always_returns(
+                        stmt.else_body
+                    ):
+                        return True
+        return False
+
+    def _check_body(
+        self,
+        body: list[ast.Stmt],
+        scope: Scope,
+        func: ast.FunctionDef,
+        loop_depth: int,
+    ) -> None:
+        for stmt in body:
+            self._check_stmt(stmt, scope, func, loop_depth)
+
+    def _check_stmt(
+        self,
+        stmt: ast.Stmt,
+        scope: Scope,
+        func: ast.FunctionDef,
+        loop_depth: int,
+    ) -> None:
+        if isinstance(stmt, ast.DeclStmt):
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+            self._declare(stmt, scope)
+        elif isinstance(stmt, ast.AssignStmt):
+            symbol = scope.lookup(stmt.name)
+            if symbol is None:
+                raise SemanticError(f"assignment to undeclared {stmt.name!r}", stmt.line)
+            if stmt.index is not None:
+                if not symbol.is_array:
+                    raise SemanticError(f"{stmt.name!r} is not an array", stmt.line)
+                self._check_expr(stmt.index, scope)
+            elif symbol.is_array:
+                raise SemanticError(
+                    f"cannot assign whole array {stmt.name!r}", stmt.line
+                )
+            self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.IfStmt):
+            self._check_expr(stmt.cond, scope)
+            self._check_body(stmt.then_body, Scope(scope), func, loop_depth)
+            self._check_body(stmt.else_body, Scope(scope), func, loop_depth)
+        elif isinstance(stmt, ast.WhileStmt):
+            self._check_expr(stmt.cond, scope)
+            self._check_body(stmt.body, Scope(scope), func, loop_depth + 1)
+        elif isinstance(stmt, ast.ForStmt):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner, func, loop_depth)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, inner)
+            self._check_body(stmt.body, Scope(inner), func, loop_depth + 1)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, inner, func, loop_depth)
+        elif isinstance(stmt, ast.BreakStmt):
+            if loop_depth == 0:
+                raise SemanticError("break outside loop", stmt.line)
+        elif isinstance(stmt, ast.ContinueStmt):
+            if loop_depth == 0:
+                raise SemanticError("continue outside loop", stmt.line)
+        elif isinstance(stmt, ast.ReturnStmt):
+            returns_value = not isinstance(func.return_type, VoidType)
+            if returns_value and stmt.value is None:
+                raise SemanticError(
+                    f"{func.name!r} must return a value", stmt.line
+                )
+            if not returns_value and stmt.value is not None:
+                raise SemanticError(
+                    f"void function {func.name!r} returns a value", stmt.line
+                )
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope)
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _check_expr(self, expr: ast.Expr, scope: Scope) -> None:
+        if isinstance(expr, ast.NumberLit):
+            return
+        if isinstance(expr, ast.NameRef):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise SemanticError(f"use of undeclared {expr.name!r}", expr.line)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"array {expr.name!r} used without index", expr.line
+                )
+        elif isinstance(expr, ast.ArrayRef):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise SemanticError(f"use of undeclared {expr.name!r}", expr.line)
+            if not symbol.is_array:
+                raise SemanticError(f"{expr.name!r} is not an array", expr.line)
+            self._check_expr(expr.index, scope)
+        elif isinstance(expr, ast.UnaryExpr):
+            self._check_expr(expr.operand, scope)
+        elif isinstance(expr, ast.BinaryExpr):
+            self._check_expr(expr.lhs, scope)
+            self._check_expr(expr.rhs, scope)
+        elif isinstance(expr, ast.TernaryExpr):
+            self._check_expr(expr.cond, scope)
+            self._check_expr(expr.if_true, scope)
+            self._check_expr(expr.if_false, scope)
+        elif isinstance(expr, ast.CastExpr):
+            self._check_expr(expr.operand, scope)
+        elif isinstance(expr, ast.CallExpr):
+            callee = self.functions.get(expr.callee)
+            if callee is None:
+                raise SemanticError(f"call to unknown function {expr.callee!r}", expr.line)
+            if len(expr.args) != len(callee.params):
+                raise SemanticError(
+                    f"{expr.callee!r} expects {len(callee.params)} args, "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            for arg, param in zip(expr.args, callee.params):
+                if param.array_size is not None:
+                    if not isinstance(arg, ast.NameRef):
+                        raise SemanticError(
+                            f"array argument to {expr.callee!r} must be a name",
+                            expr.line,
+                        )
+                    symbol = scope.lookup(arg.name)
+                    if symbol is None or not symbol.is_array:
+                        raise SemanticError(
+                            f"argument {arg.name!r} must be an array", expr.line
+                        )
+                else:
+                    self._check_expr(arg, scope)
+        else:  # pragma: no cover - defensive
+            raise SemanticError(f"unknown expression {type(expr).__name__}", expr.line)
+
+
+def analyze(program: ast.Program) -> None:
+    """Run semantic analysis; raises :class:`SemanticError` on failure."""
+    SemanticAnalyzer(program).analyze()

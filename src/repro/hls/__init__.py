@@ -1,0 +1,77 @@
+"""Mini high-level-synthesis engine: scheduling, binding, controller
+synthesis and the FSMD design model."""
+
+from repro.hls.binding import (
+    BindingResult,
+    FUInstance,
+    MemoryBinding,
+    Register,
+    bind_function,
+)
+from repro.hls.controller import Controller, StateId, Transition, synthesize_controller
+from repro.hls.design import (
+    BlockVariants,
+    FsmdDesign,
+    KeyConfiguration,
+    VariantOp,
+)
+from repro.hls.engine import HlsError, hls_flow, synthesize_function
+from repro.hls.resources import (
+    FUKind,
+    ResourceConstraints,
+    fu_area,
+    fu_delay,
+    fu_kind_for,
+    memory_area,
+    merged_fu_area,
+    mux_area,
+    mux_delay,
+    register_area,
+    xor_area,
+)
+from repro.hls.scheduling import (
+    BlockSchedule,
+    FunctionSchedule,
+    alap_schedule,
+    asap_schedule,
+    list_schedule_block,
+    schedule_function,
+    validate_schedule,
+)
+
+__all__ = [
+    "BindingResult",
+    "BlockSchedule",
+    "BlockVariants",
+    "Controller",
+    "FUInstance",
+    "FUKind",
+    "FsmdDesign",
+    "FunctionSchedule",
+    "HlsError",
+    "KeyConfiguration",
+    "MemoryBinding",
+    "Register",
+    "ResourceConstraints",
+    "StateId",
+    "Transition",
+    "VariantOp",
+    "alap_schedule",
+    "asap_schedule",
+    "bind_function",
+    "fu_area",
+    "fu_delay",
+    "fu_kind_for",
+    "hls_flow",
+    "list_schedule_block",
+    "memory_area",
+    "merged_fu_area",
+    "mux_area",
+    "mux_delay",
+    "register_area",
+    "schedule_function",
+    "synthesize_controller",
+    "synthesize_function",
+    "validate_schedule",
+    "xor_area",
+]

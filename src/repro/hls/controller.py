@@ -1,0 +1,145 @@
+"""Controller synthesis: build the FSM driving the datapath.
+
+States are (basic block, control step) pairs.  The final cstep of each
+block carries the block's control transfer: an unconditional next state
+(jump / fallthrough), a two-way decision on a datapath test result
+(branch), or completion (ret).
+
+TAO's branch-masking obfuscation (paper §3.3.3) rewrites the two-way
+transitions: the test is XORed with a working-key bit and the
+true/false target states are swapped at design time according to the
+bit's correct value, so only the right key reproduces the original
+control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hls.scheduling import FunctionSchedule
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.values import Value
+
+
+@dataclass(frozen=True)
+class StateId:
+    """Identifier of one FSM state: a cstep within a block."""
+
+    block: str
+    step: int
+
+    def __str__(self) -> str:
+        return f"{self.block}@{self.step}"
+
+
+@dataclass
+class Transition:
+    """Outgoing control of a state.
+
+    Exactly one of the following shapes:
+
+    * sequential: ``next_state`` set, ``condition`` None;
+    * conditional: ``condition`` set with ``true_state``/``false_state``;
+    * final: ``is_done`` True.
+
+    ``key_bit`` is the index of the working-key bit masking the
+    condition (None when the branch is not obfuscated).  When
+    ``swapped`` is True the true/false targets have been exchanged at
+    design time to compensate for a key bit whose correct value is 1.
+    """
+
+    next_state: Optional[StateId] = None
+    condition: Optional[Value] = None
+    true_state: Optional[StateId] = None
+    false_state: Optional[StateId] = None
+    is_done: bool = False
+    key_bit: Optional[int] = None
+    swapped: bool = False
+
+    def targets(self) -> list[StateId]:
+        out = []
+        if self.next_state is not None:
+            out.append(self.next_state)
+        if self.true_state is not None:
+            out.append(self.true_state)
+        if self.false_state is not None:
+            out.append(self.false_state)
+        return out
+
+
+@dataclass
+class Controller:
+    """The synthesized finite-state machine."""
+
+    func_name: str
+    states: list[StateId] = field(default_factory=list)
+    transitions: dict[StateId, Transition] = field(default_factory=dict)
+    entry_state: Optional[StateId] = None
+
+    @property
+    def n_states(self) -> int:
+        return len(self.states)
+
+    def n_transition_edges(self) -> int:
+        return sum(len(t.targets()) for t in self.transitions.values())
+
+    def conditional_transitions(self) -> list[tuple[StateId, Transition]]:
+        return [
+            (state, transition)
+            for state, transition in self.transitions.items()
+            if transition.condition is not None
+        ]
+
+    def resolve_next(
+        self, state: StateId, condition_value: int, key_bit_value: int = 0
+    ) -> Optional[StateId]:
+        """Evaluate the transition out of ``state``.
+
+        ``condition_value`` is the datapath test result; ``key_bit_value``
+        the working-key bit wired into this transition's XOR (0 when the
+        branch is unobfuscated).  Returns None when the FSM completes.
+        """
+        transition = self.transitions[state]
+        if transition.is_done:
+            return None
+        if transition.condition is None:
+            return transition.next_state
+        effective = (condition_value & 1) ^ (key_bit_value & 1)
+        return transition.true_state if effective else transition.false_state
+
+
+def synthesize_controller(func: Function, schedule: FunctionSchedule) -> Controller:
+    """Build the FSM from a scheduled function."""
+    controller = Controller(func_name=func.name)
+    for block_name, block_schedule in schedule.blocks.items():
+        for step in range(block_schedule.n_steps):
+            controller.states.append(StateId(block_name, step))
+    controller.entry_state = StateId(func.entry.name, 0)
+
+    first_step = {name: StateId(name, 0) for name in schedule.blocks}
+    for block_name, block_schedule in schedule.blocks.items():
+        last = block_schedule.n_steps - 1
+        # Intra-block sequencing.
+        for step in range(last):
+            controller.transitions[StateId(block_name, step)] = Transition(
+                next_state=StateId(block_name, step + 1)
+            )
+        term = block_schedule.block.terminator
+        state = StateId(block_name, last)
+        if term is None or term.opcode is Opcode.RET:
+            controller.transitions[state] = Transition(is_done=True)
+        elif term.opcode is Opcode.JUMP:
+            controller.transitions[state] = Transition(
+                next_state=first_step[term.targets[0]]
+            )
+        elif term.opcode is Opcode.BRANCH:
+            controller.transitions[state] = Transition(
+                condition=term.operands[0],
+                true_state=first_step[term.targets[0]],
+                false_state=first_step[term.targets[1]],
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unexpected terminator {term}")
+    return controller

@@ -1,0 +1,215 @@
+"""Functional-unit resource library and technology cost model.
+
+This module plays the role of the SAED 32 nm generic library + Design
+Compiler characterization used in the paper.  Areas are expressed in
+NAND2-equivalent gates and delays in nanoseconds; the constants below
+are calibrated to textbook gate counts for a generic 32 nm standard
+cell library.  Absolute values are approximate — the reproduction
+relies on *relative* overheads, which these structural models capture.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.instructions import Opcode
+
+
+class FUKind(enum.Enum):
+    """Classes of datapath functional units."""
+
+    ADDSUB = "addsub"
+    MUL = "mul"
+    DIV = "div"
+    SHIFT = "shift"
+    LOGIC = "logic"
+    CMP = "cmp"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Opcode -> functional-unit kind executing it (None = no FU needed).
+OPCODE_FU_KIND: dict[Opcode, Optional[FUKind]] = {
+    Opcode.ADD: FUKind.ADDSUB,
+    Opcode.SUB: FUKind.ADDSUB,
+    Opcode.NEG: FUKind.ADDSUB,
+    Opcode.MUL: FUKind.MUL,
+    Opcode.DIV: FUKind.DIV,
+    Opcode.REM: FUKind.DIV,
+    Opcode.SHL: FUKind.SHIFT,
+    Opcode.SHR: FUKind.SHIFT,
+    Opcode.AND: FUKind.LOGIC,
+    Opcode.OR: FUKind.LOGIC,
+    Opcode.XOR: FUKind.LOGIC,
+    Opcode.NOT: FUKind.LOGIC,
+    Opcode.EQ: FUKind.CMP,
+    Opcode.NE: FUKind.CMP,
+    Opcode.LT: FUKind.CMP,
+    Opcode.LE: FUKind.CMP,
+    Opcode.GT: FUKind.CMP,
+    Opcode.GE: FUKind.CMP,
+    Opcode.MOV: None,
+    Opcode.LOAD: None,
+    Opcode.STORE: None,
+}
+
+
+def fu_kind_for(opcode: Opcode) -> Optional[FUKind]:
+    """Functional-unit kind for ``opcode`` (None for moves/memory)."""
+    return OPCODE_FU_KIND.get(opcode)
+
+
+def _log2(n: int) -> float:
+    return math.log2(max(2, n))
+
+
+# ----------------------------------------------------------------------
+# Area model (NAND2-equivalent gates)
+# ----------------------------------------------------------------------
+def fu_area(kind: FUKind, width: int) -> float:
+    """Area of one functional unit of ``kind`` at ``width`` bits."""
+    w = max(1, width)
+    if kind is FUKind.ADDSUB:
+        return 9.0 * w  # CLA adder/subtractor
+    if kind is FUKind.MUL:
+        return 6.0 * w * w  # array multiplier
+    if kind is FUKind.DIV:
+        return 11.0 * w * w  # restoring divider (combinational)
+    if kind is FUKind.SHIFT:
+        return 4.0 * w * math.ceil(_log2(w))  # barrel shifter
+    if kind is FUKind.LOGIC:
+        return 3.5 * w  # and/or/xor/not with op select
+    if kind is FUKind.CMP:
+        return 4.5 * w  # magnitude comparator
+    raise ValueError(f"unknown FU kind {kind}")  # pragma: no cover
+
+
+def merged_fu_area(kinds_and_ops: set[Opcode], width: int) -> float:
+    """Area of an FU supporting several operation classes.
+
+    A multi-function ALU shares structure: its area is the largest
+    member plus a fraction of the remaining classes (datapath merging
+    reuses adders for sub/neg, xor trees for logic, etc.) plus a
+    function-select decoder.
+    """
+    kinds = {fu_kind_for(op) for op in kinds_and_ops}
+    kinds.discard(None)
+    if not kinds:
+        return 0.0
+    areas = sorted((fu_area(k, width) for k in kinds), reverse=True)  # type: ignore[arg-type]
+    area = areas[0] + 0.35 * sum(areas[1:])
+    if len(kinds) > 1:
+        area += 1.5 * width  # function-select steering
+    return area
+
+
+def mux_area(n_inputs: int, width: int) -> float:
+    """Area of an ``n_inputs``-to-1 multiplexer of ``width`` bits."""
+    if n_inputs <= 1:
+        return 0.0
+    return 3.3 * (n_inputs - 1) * max(1, width)
+
+
+def register_area(width: int) -> float:
+    """Area of a ``width``-bit register (DFF bank)."""
+    return 7.0 * max(1, width)
+
+
+def xor_area(width: int) -> float:
+    """Area of a ``width``-bit XOR gate bank (key unmasking)."""
+    return 3.0 * max(1, width)
+
+
+def memory_area(bits: int) -> float:
+    """Area of an on-chip RAM/ROM macro storing ``bits`` bits."""
+    if bits <= 0:
+        return 0.0
+    return 0.35 * bits + 60.0  # bit array + decoder/sense overhead
+
+
+def fsm_area(n_states: int, n_transitions: int, n_commands: int) -> float:
+    """Controller area: state register + next-state and output logic."""
+    state_bits = math.ceil(_log2(max(2, n_states)))
+    return (
+        register_area(state_bits)
+        + 10.0 * n_states
+        + 3.0 * n_transitions
+        + 1.5 * n_commands
+    )
+
+
+# ----------------------------------------------------------------------
+# Timing model (nanoseconds, 32 nm-class)
+# ----------------------------------------------------------------------
+#: Register clock-to-Q plus setup, charged once per register-to-register path.
+REGISTER_OVERHEAD_NS = 0.20
+#: Extra next-state logic depth per controller decision level.
+FSM_LOGIC_NS = 0.25
+#: Delay of one XOR level (key unmasking).
+XOR_DELAY_NS = 0.035
+
+
+def fu_delay(kind: FUKind, width: int) -> float:
+    """Combinational delay through one functional unit."""
+    w = max(1, width)
+    if kind is FUKind.ADDSUB:
+        return 0.20 + 0.080 * _log2(w)
+    if kind is FUKind.MUL:
+        return 0.40 + 0.180 * _log2(w)
+    if kind is FUKind.DIV:
+        return 0.80 + 0.300 * _log2(w)
+    if kind is FUKind.SHIFT:
+        return 0.12 + 0.055 * _log2(w)
+    if kind is FUKind.LOGIC:
+        return 0.10 + 0.010 * _log2(w)
+    if kind is FUKind.CMP:
+        return 0.18 + 0.060 * _log2(w)
+    raise ValueError(f"unknown FU kind {kind}")  # pragma: no cover
+
+
+def opcode_delay(opcode: Opcode, width: int) -> float:
+    """Delay of the FU class executing ``opcode`` (0 for moves)."""
+    kind = fu_kind_for(opcode)
+    if kind is None:
+        return 0.05  # register-to-register move path
+    return fu_delay(kind, width)
+
+
+def mux_delay(n_inputs: int) -> float:
+    """Delay through an n:1 mux tree."""
+    if n_inputs <= 1:
+        return 0.0
+    return 0.040 * math.ceil(_log2(n_inputs))
+
+
+def memory_access_delay() -> float:
+    """RAM read path (address decode + bitline + sense)."""
+    return 0.45
+
+
+@dataclass
+class ResourceConstraints:
+    """Per-kind limits for resource-constrained list scheduling.
+
+    ``None`` means unconstrained.  ``memory_ports`` limits concurrent
+    accesses to any single array per cycle.
+    """
+
+    limits: dict[FUKind, Optional[int]] = field(
+        default_factory=lambda: {
+            FUKind.ADDSUB: 3,
+            FUKind.MUL: 2,
+            FUKind.DIV: 1,
+            FUKind.SHIFT: 2,
+            FUKind.LOGIC: 3,
+            FUKind.CMP: 2,
+        }
+    )
+    memory_ports: int = 1
+
+    def limit(self, kind: FUKind) -> Optional[int]:
+        return self.limits.get(kind)

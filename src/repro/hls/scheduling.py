@@ -1,0 +1,171 @@
+"""Operation scheduling: ASAP, ALAP and resource-constrained list
+scheduling over each basic block's data-flow graph.
+
+The schedule assigns every instruction a control step (cstep) inside
+its block.  No operation chaining: a consumer executes at least one
+cstep after its producers (results are latched in registers at the end
+of the producing cstep).  Terminators execute in the block's final
+cstep.  TAO's DFG-variant pass reuses the baseline schedule as the
+constraint for all variants (paper §3.3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.dfg import DataFlowGraph, DFGNode
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.hls.resources import FUKind, ResourceConstraints, fu_kind_for
+
+
+@dataclass
+class BlockSchedule:
+    """Schedule of one basic block.
+
+    Attributes:
+        block: The scheduled block.
+        cstep_of: Control step assigned to each instruction (by uid).
+        n_steps: Total control steps (>= 1; empty blocks still take one
+            state for their terminator).
+    """
+
+    block: BasicBlock
+    cstep_of: dict[int, int]
+    n_steps: int
+
+    def instructions_at(self, step: int) -> list[Instruction]:
+        return [
+            inst
+            for inst in self.block.instructions
+            if self.cstep_of[inst.uid] == step
+        ]
+
+    def step_table(self) -> list[list[Instruction]]:
+        table: list[list[Instruction]] = [[] for _ in range(self.n_steps)]
+        for inst in self.block.instructions:
+            table[self.cstep_of[inst.uid]].append(inst)
+        return table
+
+
+@dataclass
+class FunctionSchedule:
+    """Schedules for every block of a function."""
+
+    func: Function
+    blocks: dict[str, BlockSchedule] = field(default_factory=dict)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(s.n_steps for s in self.blocks.values())
+
+
+def asap_schedule(dfg: DataFlowGraph) -> dict[DFGNode, int]:
+    """Unconstrained as-soon-as-possible schedule (each op takes 1 cstep)."""
+    steps: dict[DFGNode, int] = {}
+    for node in dfg.topological_order():
+        steps[node] = max((steps[p] + 1 for p in node.preds), default=0)
+    return steps
+
+
+def alap_schedule(dfg: DataFlowGraph, length: Optional[int] = None) -> dict[DFGNode, int]:
+    """As-late-as-possible schedule within ``length`` csteps."""
+    asap = asap_schedule(dfg)
+    horizon = length if length is not None else (max(asap.values(), default=0) + 1)
+    steps: dict[DFGNode, int] = {}
+    for node in reversed(dfg.topological_order()):
+        steps[node] = min((steps[s] - 1 for s in node.succs), default=horizon - 1)
+    return steps
+
+
+def list_schedule_block(
+    block: BasicBlock,
+    constraints: ResourceConstraints,
+) -> BlockSchedule:
+    """Resource-constrained list scheduling with ALAP-slack priority."""
+    dfg = DataFlowGraph(block)
+    if not dfg.nodes:
+        return BlockSchedule(block=block, cstep_of={}, n_steps=1)
+    alap = alap_schedule(dfg)
+
+    unscheduled = set(dfg.nodes)
+    scheduled_step: dict[DFGNode, int] = {}
+    step = 0
+    terminator = block.terminator
+    while unscheduled:
+        # Resource usage this cstep.
+        fu_used: dict[FUKind, int] = {}
+        ports_used: dict[str, int] = {}
+        ready = sorted(
+            (
+                node
+                for node in unscheduled
+                if all(
+                    p in scheduled_step and scheduled_step[p] < step
+                    for p in node.preds
+                )
+            ),
+            key=lambda n: (alap[n], n.index),
+        )
+        for node in ready:
+            inst = node.inst
+            if terminator is not None and inst is terminator and len(unscheduled) > 1:
+                continue  # terminator goes last
+            kind = fu_kind_for(inst.opcode) if inst.is_datapath_op else None
+            if kind is not None:
+                limit = constraints.limit(kind)
+                if limit is not None and fu_used.get(kind, 0) >= limit:
+                    continue
+            if inst.opcode in (Opcode.LOAD, Opcode.STORE):
+                assert inst.array is not None
+                if ports_used.get(inst.array.name, 0) >= constraints.memory_ports:
+                    continue
+                ports_used[inst.array.name] = ports_used.get(inst.array.name, 0) + 1
+            if kind is not None:
+                fu_used[kind] = fu_used.get(kind, 0) + 1
+            scheduled_step[node] = step
+            unscheduled.discard(node)
+        step += 1
+        if step > 4 * len(dfg.nodes) + 8:  # pragma: no cover - defensive
+            raise RuntimeError(f"scheduler livelock in block {block.name}")
+
+    n_steps = max(scheduled_step.values()) + 1
+    # Pin the terminator into the final cstep.
+    if terminator is not None:
+        term_node = next(n for n in dfg.nodes if n.inst is terminator)
+        if scheduled_step[term_node] != n_steps - 1:
+            scheduled_step[term_node] = n_steps - 1
+    cstep_of = {node.inst.uid: s for node, s in scheduled_step.items()}
+    return BlockSchedule(block=block, cstep_of=cstep_of, n_steps=n_steps)
+
+
+def schedule_function(
+    func: Function,
+    constraints: Optional[ResourceConstraints] = None,
+) -> FunctionSchedule:
+    """Schedule every block of ``func``."""
+    constraints = constraints or ResourceConstraints()
+    schedule = FunctionSchedule(func=func)
+    for name, block in func.blocks.items():
+        schedule.blocks[name] = list_schedule_block(block, constraints)
+    return schedule
+
+
+def validate_schedule(schedule: FunctionSchedule) -> None:
+    """Check dependence and terminator invariants; raises on violation."""
+    for name, block_schedule in schedule.blocks.items():
+        block = block_schedule.block
+        dfg = DataFlowGraph(block)
+        steps = block_schedule.cstep_of
+        for node in dfg.nodes:
+            for pred in node.preds:
+                if steps[pred.inst.uid] >= steps[node.inst.uid]:
+                    raise ValueError(
+                        f"{name}: {pred.inst} (c{steps[pred.inst.uid]}) must "
+                        f"precede {node.inst} (c{steps[node.inst.uid]})"
+                    )
+        term = block.terminator
+        if term is not None and steps[term.uid] != block_schedule.n_steps - 1:
+            raise ValueError(f"{name}: terminator not in final cstep")

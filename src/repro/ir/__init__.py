@@ -1,0 +1,98 @@
+"""Intermediate representation for the repro mini-HLS flow.
+
+The IR is a typed three-address code over basic blocks, designed to be
+the substrate for both the HLS engine (``repro.hls``) and the TAO
+obfuscation passes (``repro.tao``).
+"""
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.callgraph import CallGraph
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.dfg import DataFlowGraph, DFGNode
+from repro.ir.function import Function, Module
+from repro.ir.printer import cfg_dot, format_function, format_module
+from repro.ir.instructions import (
+    BINARY_OPS,
+    COMMUTATIVE,
+    COMPARE_OPS,
+    TERMINATORS,
+    UNARY_OPS,
+    Instruction,
+    Opcode,
+)
+from repro.ir.types import (
+    BOOL,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    VOID,
+    ArrayType,
+    IntType,
+    Type,
+    VoidType,
+    bits_for_value,
+    common_type,
+)
+from repro.ir.values import (
+    ArrayValue,
+    Constant,
+    ObfuscatedConstant,
+    Temp,
+    Value,
+    Variable,
+    const,
+)
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "ArrayType",
+    "ArrayValue",
+    "BasicBlock",
+    "BINARY_OPS",
+    "BOOL",
+    "CallGraph",
+    "COMMUTATIVE",
+    "COMPARE_OPS",
+    "Constant",
+    "ControlFlowGraph",
+    "DataFlowGraph",
+    "DFGNode",
+    "Function",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "IRBuilder",
+    "Instruction",
+    "IntType",
+    "Module",
+    "ObfuscatedConstant",
+    "Opcode",
+    "Temp",
+    "TERMINATORS",
+    "Type",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "UNARY_OPS",
+    "Value",
+    "Variable",
+    "VerificationError",
+    "VOID",
+    "VoidType",
+    "bits_for_value",
+    "cfg_dot",
+    "format_function",
+    "format_module",
+    "common_type",
+    "const",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,89 @@
+"""Basic blocks: straight-line instruction sequences with one entry/exit.
+
+A basic block is the unit TAO's DFG-variant obfuscation operates on
+(paper §3.3.4): each block is scheduled and its data-flow graph is
+diversified under key control.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ir.instructions import Instruction, Opcode
+
+
+class BasicBlock:
+    """A sequence of instructions ending in a single terminator.
+
+    Attributes:
+        name: Unique label within the enclosing function.
+        instructions: Ordered instruction list; the last one (if the
+            block is complete) is a terminator.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: list[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, inst: Instruction) -> Instruction:
+        """Append ``inst``; rejects instructions after a terminator."""
+        if self.is_terminated:
+            raise ValueError(f"block {self.name} already has a terminator")
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        """Insert ``inst`` before position ``index``."""
+        self.instructions.insert(index, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_terminated(self) -> bool:
+        return bool(self.instructions) and self.instructions[-1].is_terminator
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.is_terminated:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def body(self) -> list[Instruction]:
+        """Instructions excluding the terminator."""
+        if self.is_terminated:
+            return self.instructions[:-1]
+        return list(self.instructions)
+
+    def successors(self) -> list[str]:
+        """Names of successor blocks (empty for ``ret`` blocks)."""
+        term = self.terminator
+        if term is None or term.opcode is Opcode.RET:
+            return []
+        return list(term.targets)
+
+    def datapath_ops(self) -> list[Instruction]:
+        """Instructions that occupy functional units when scheduled."""
+        return [i for i in self.instructions if i.is_datapath_op]
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        lines = [f"{self.name}:"]
+        lines.extend(f"  {inst}" for inst in self.instructions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BasicBlock {self.name} ({len(self.instructions)} insts)>"

@@ -1,0 +1,111 @@
+"""Convenience builder for constructing IR programmatically.
+
+Used by the AST-lowering front-end and extensively by tests to build
+small functions without going through the C parser.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import IntType
+from repro.ir.values import ArrayValue, Constant, Temp, Value
+
+
+class IRBuilder:
+    """Appends instructions to a current insertion block."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.block: Optional[BasicBlock] = None
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self.block = block
+        return block
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        return self.func.new_block(hint)
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def emit(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise ValueError("no insertion block set")
+        return self.block.append(inst)
+
+    def binary(
+        self,
+        opcode: Opcode,
+        lhs: Value,
+        rhs: Value,
+        result_type: IntType,
+        result: Optional[Value] = None,
+    ) -> Value:
+        out = result if result is not None else Temp(result_type)
+        self.emit(Instruction(opcode, result=out, operands=[lhs, rhs]))
+        return out
+
+    def unary(
+        self,
+        opcode: Opcode,
+        operand: Value,
+        result_type: IntType,
+        result: Optional[Value] = None,
+    ) -> Value:
+        out = result if result is not None else Temp(result_type)
+        self.emit(Instruction(opcode, result=out, operands=[operand]))
+        return out
+
+    def mov(self, source: Value, dest: Value) -> Value:
+        self.emit(Instruction(Opcode.MOV, result=dest, operands=[source]))
+        return dest
+
+    def load(
+        self,
+        array: ArrayValue,
+        index: Value,
+        result: Optional[Value] = None,
+    ) -> Value:
+        out = result if result is not None else Temp(array.element_type)
+        self.emit(Instruction(Opcode.LOAD, result=out, operands=[index], array=array))
+        return out
+
+    def store(self, array: ArrayValue, index: Value, value: Value) -> None:
+        self.emit(Instruction(Opcode.STORE, operands=[index, value], array=array))
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[Value],
+        result_type: Optional[IntType] = None,
+    ) -> Optional[Value]:
+        out = Temp(result_type) if result_type is not None else None
+        self.emit(
+            Instruction(Opcode.CALL, result=out, operands=list(args), callee=callee)
+        )
+        return out
+
+    def jump(self, target: str) -> None:
+        self.emit(Instruction(Opcode.JUMP, targets=[target]))
+
+    def branch(self, cond: Value, true_target: str, false_target: str) -> None:
+        self.emit(
+            Instruction(
+                Opcode.BRANCH, operands=[cond], targets=[true_target, false_target]
+            )
+        )
+
+    def ret(self, value: Optional[Value] = None) -> None:
+        operands = [value] if value is not None else []
+        self.emit(Instruction(Opcode.RET, operands=operands))
+
+    # ------------------------------------------------------------------
+    # Constant helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def const(value: int, type_: IntType) -> Constant:
+        return Constant(value, type_)

@@ -1,0 +1,101 @@
+"""Call-graph extraction (TAO §3.3.1: "Creation of the Call Graph").
+
+TAO analyses the call graph to determine the function hierarchy before
+apportioning working-key bits across constants, branches and basic
+blocks.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Opcode
+
+
+class CallGraph:
+    """Static call graph of a module.
+
+    Attributes:
+        callees: function name -> ordered unique callee names.
+        callers: function name -> set of caller names.
+    """
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.callees: dict[str, list[str]] = {}
+        self.callers: dict[str, set[str]] = {name: set() for name in module.functions}
+        for func in module:
+            seen: list[str] = []
+            for inst in func.instructions():
+                if inst.opcode is Opcode.CALL and inst.callee is not None:
+                    if inst.callee not in seen:
+                        seen.append(inst.callee)
+                    if inst.callee in self.callers:
+                        self.callers[inst.callee].add(func.name)
+            self.callees[func.name] = seen
+
+    def roots(self) -> list[str]:
+        """Functions never called by another module function."""
+        return [name for name, callers in self.callers.items() if not callers]
+
+    def leaf_functions(self) -> list[str]:
+        """Functions that call nothing."""
+        return [name for name, callees in self.callees.items() if not callees]
+
+    def is_recursive(self, name: str) -> bool:
+        """True when ``name`` can reach itself through calls."""
+        stack = list(self.callees.get(name, []))
+        visited: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == name:
+                return True
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.extend(self.callees.get(node, []))
+        return False
+
+    def topological_order(self) -> list[str]:
+        """Callees before callers (bottom-up order for inlining).
+
+        Raises ValueError if the call graph has a cycle (recursion),
+        which our HLS flow does not support.
+        """
+        indegree = {name: 0 for name in self.module.functions}
+        for callees in self.callees.values():
+            for callee in callees:
+                if callee in indegree:
+                    indegree[callee] += 1
+        # Kahn's algorithm on reversed edges: start from functions nobody
+        # calls *from* (leaves), emit callees first.
+        order: list[str] = []
+        remaining = dict(self.callees)
+        emitted: set[str] = set()
+        progress = True
+        while remaining and progress:
+            progress = False
+            for name in list(remaining):
+                if all(c in emitted or c not in remaining for c in remaining[name]):
+                    order.append(name)
+                    emitted.add(name)
+                    del remaining[name]
+                    progress = True
+        if remaining:
+            raise ValueError(f"recursive call graph involving {sorted(remaining)}")
+        return order
+
+    def reachable_from(self, root: str) -> set[str]:
+        """All functions transitively callable from ``root`` (inclusive)."""
+        visited = {root}
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for callee in self.callees.get(node, []):
+                if callee not in visited and callee in self.module.functions:
+                    visited.add(callee)
+                    stack.append(callee)
+        return visited
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        edges = sum(len(c) for c in self.callees.values())
+        return f"<CallGraph {len(self.callees)} functions, {edges} edges>"

@@ -1,0 +1,172 @@
+"""Control-flow graph analyses: successors, predecessors, orderings,
+dominators and natural-loop detection.
+
+TAO's branch-masking pass needs the CFG to enumerate conditional jumps,
+and its validation section distinguishes loop-bound constants (which
+change latency) from other constants — natural-loop detection supports
+that analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.function import Function
+
+
+class ControlFlowGraph:
+    """CFG over a function's basic blocks.
+
+    The graph is a snapshot: rebuild after transforming the function.
+    """
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.succs: dict[str, list[str]] = {}
+        self.preds: dict[str, list[str]] = {}
+        for name, block in func.blocks.items():
+            self.succs[name] = block.successors()
+            self.preds.setdefault(name, [])
+        for name, succs in self.succs.items():
+            for succ in succs:
+                if succ not in self.preds:
+                    raise ValueError(f"branch target {succ!r} not in function")
+                self.preds[succ].append(name)
+
+    # ------------------------------------------------------------------
+    # Orderings
+    # ------------------------------------------------------------------
+    def reverse_postorder(self) -> list[str]:
+        """Blocks in reverse postorder from the entry (good for dataflow)."""
+        visited: set[str] = set()
+        order: list[str] = []
+
+        def visit(name: str) -> None:
+            stack = [(name, iter(self.succs[name]))]
+            visited.add(name)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append((succ, iter(self.succs[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.func.entry.name)
+        order.reverse()
+        return order
+
+    def reachable(self) -> set[str]:
+        """Names of blocks reachable from the entry."""
+        return set(self.reverse_postorder())
+
+    # ------------------------------------------------------------------
+    # Dominators
+    # ------------------------------------------------------------------
+    def immediate_dominators(self) -> dict[str, Optional[str]]:
+        """Compute idom for every reachable block (Cooper-Harvey-Kennedy)."""
+        rpo = self.reverse_postorder()
+        index = {name: i for i, name in enumerate(rpo)}
+        entry = self.func.entry.name
+        idom: dict[str, Optional[str]] = {entry: entry}
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for name in rpo:
+                if name == entry:
+                    continue
+                preds = [p for p in self.preds[name] if p in idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = intersect(pred, new_idom)
+                if idom.get(name) != new_idom:
+                    idom[name] = new_idom
+                    changed = True
+        idom[entry] = None
+        return idom
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when block ``a`` dominates block ``b``."""
+        idom = self.immediate_dominators()
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = idom.get(node)
+        return False
+
+    # ------------------------------------------------------------------
+    # Loops
+    # ------------------------------------------------------------------
+    def back_edges(self) -> list[tuple[str, str]]:
+        """Edges (tail, head) where head dominates tail (natural loops)."""
+        idom = self.immediate_dominators()
+
+        def dominates(a: str, b: str) -> bool:
+            node: Optional[str] = b
+            while node is not None:
+                if node == a:
+                    return True
+                node = idom.get(node)
+            return False
+
+        edges = []
+        for tail, succs in self.succs.items():
+            for head in succs:
+                if head in idom and tail in idom and dominates(head, tail):
+                    edges.append((tail, head))
+        return edges
+
+    def natural_loop(self, tail: str, head: str) -> set[str]:
+        """Blocks of the natural loop for back edge ``tail -> head``."""
+        loop = {head, tail}
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            for pred in self.preds[node]:
+                if pred not in loop and node != head:
+                    loop.add(pred)
+                    stack.append(pred)
+        return loop
+
+    def loop_headers(self) -> set[str]:
+        return {head for _, head in self.back_edges()}
+
+    def blocks_in_loops(self) -> set[str]:
+        """Union of all natural-loop bodies."""
+        result: set[str] = set()
+        for tail, head in self.back_edges():
+            result |= self.natural_loop(tail, head)
+        return result
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def block(self, name: str) -> BasicBlock:
+        return self.func.blocks[name]
+
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self.succs.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<CFG {self.func.name}: {len(self.succs)} blocks, "
+            f"{self.edge_count()} edges>"
+        )

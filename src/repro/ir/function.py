@@ -1,0 +1,152 @@
+"""Functions and modules: the top-level IR containers."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import Type, VoidType
+from repro.ir.values import ArrayValue, Value, Variable
+
+
+class Function:
+    """A function: an ordered collection of basic blocks plus signature.
+
+    Attributes:
+        name: Function name, unique within the module.
+        return_type: IR type of the returned value (``VOID`` for none).
+        params: Ordered list of parameter values (scalars or arrays).
+        blocks: Mapping from block name to :class:`BasicBlock`,
+            insertion-ordered; the first block is the entry.
+        arrays: Local and parameter arrays, by name.
+    """
+
+    def __init__(self, name: str, return_type: Type) -> None:
+        self.name = name
+        self.return_type = return_type
+        self.params: list[Value] = []
+        self.blocks: dict[str, BasicBlock] = {}
+        self.arrays: dict[str, ArrayValue] = {}
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_param(self, param: Value) -> Value:
+        self.params.append(param)
+        if isinstance(param, ArrayValue):
+            self.arrays[param.name] = param
+        return param
+
+    def add_array(self, array: ArrayValue) -> ArrayValue:
+        if array.name in self.arrays:
+            raise ValueError(f"duplicate array {array.name} in {self.name}")
+        self.arrays[array.name] = array
+        return array
+
+    def new_block(self, hint: str = "bb") -> BasicBlock:
+        """Create a fresh uniquely-named basic block."""
+        name = f"{hint}{self._label_counter}"
+        self._label_counter += 1
+        while name in self.blocks:
+            name = f"{hint}{self._label_counter}"
+            self._label_counter += 1
+        block = BasicBlock(name)
+        self.blocks[name] = block
+        return block
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.name in self.blocks:
+            raise ValueError(f"duplicate block {block.name} in {self.name}")
+        self.blocks[block.name] = block
+        return block
+
+    def remove_block(self, name: str) -> None:
+        del self.blocks[name]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return next(iter(self.blocks.values()))
+
+    def block(self, name: str) -> BasicBlock:
+        return self.blocks[name]
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over all instructions in block order."""
+        for block in self.blocks.values():
+            yield from block.instructions
+
+    def scalar_params(self) -> list[Variable]:
+        return [p for p in self.params if isinstance(p, Variable)]
+
+    def array_params(self) -> list[ArrayValue]:
+        return [p for p in self.params if isinstance(p, ArrayValue)]
+
+    def local_arrays(self) -> list[ArrayValue]:
+        return [a for a in self.arrays.values() if not a.is_param]
+
+    def conditional_branches(self) -> list[Instruction]:
+        """All two-way branch instructions (TAO's CJMP count)."""
+        return [
+            inst for inst in self.instructions() if inst.opcode is Opcode.BRANCH
+        ]
+
+    @property
+    def returns_value(self) -> bool:
+        return not isinstance(self.return_type, VoidType)
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{p.type} {p.name}" for p in self.params)
+        lines = [f"func {self.return_type} @{self.name}({params}) {{"]
+        for array in self.local_arrays():
+            lines.append(f"  alloc {array.type} {array.name}")
+        for block in self.blocks.values():
+            lines.append(str(block))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Function {self.name} ({len(self.blocks)} blocks)>"
+
+
+class Module:
+    """A compilation unit: an ordered set of functions.
+
+    Attributes:
+        name: Module name (usually the source file stem).
+        functions: Mapping from function name to :class:`Function`.
+        source_lines: Number of source lines the module was built from
+            (reported in Table 1 reproductions).
+    """
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.source_lines: int = 0
+
+    def add_function(self, func: Function) -> Function:
+        if func.name in self.functions:
+            raise ValueError(f"duplicate function {func.name}")
+        self.functions[func.name] = func
+        return func
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def get(self, name: str) -> Optional[Function]:
+        return self.functions.get(name)
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions.values())
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(f) for f in self.functions.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Module {self.name} ({len(self.functions)} functions)>"

@@ -1,0 +1,197 @@
+"""Instruction set of the repro IR.
+
+The IR is a three-address code over basic blocks.  Each instruction has
+an opcode (:class:`Opcode`), a list of operand :class:`Value`\\ s and an
+optional result :class:`Value`.  Terminators (``jump``, ``branch``,
+``ret``) end a basic block.
+
+The opcode taxonomy mirrors what an HLS resource library provides:
+arithmetic, comparison, bitwise and shift operators map one-to-one onto
+functional units, while ``load``/``store`` map onto memory ports.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Optional, Sequence
+
+from repro.ir.types import IntType
+from repro.ir.values import ArrayValue, Constant, Value
+
+
+class Opcode(enum.Enum):
+    """IR operation codes."""
+
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    NEG = "neg"
+    # Bitwise
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # Comparison (result is a 1-bit unsigned value)
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    # Data movement
+    MOV = "mov"
+    LOAD = "load"
+    STORE = "store"
+    CALL = "call"
+    # Terminators
+    JUMP = "jump"
+    BRANCH = "branch"
+    RET = "ret"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Opcodes whose instructions end a basic block.
+TERMINATORS = frozenset({Opcode.JUMP, Opcode.BRANCH, Opcode.RET})
+
+#: Commutative binary operations (used by CSE and DFG-variant search).
+COMMUTATIVE = frozenset(
+    {Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.EQ, Opcode.NE}
+)
+
+#: Binary arithmetic/logic opcodes that execute on datapath FUs.
+BINARY_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.EQ,
+        Opcode.NE,
+        Opcode.LT,
+        Opcode.LE,
+        Opcode.GT,
+        Opcode.GE,
+    }
+)
+
+#: Unary datapath opcodes.
+UNARY_OPS = frozenset({Opcode.NEG, Opcode.NOT, Opcode.MOV})
+
+#: Comparison opcodes.
+COMPARE_OPS = frozenset(
+    {Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE}
+)
+
+
+class Instruction:
+    """A single three-address IR instruction.
+
+    Attributes:
+        opcode: The operation performed.
+        result: Value defined by the instruction, or None.
+        operands: Input values, in positional order.
+        array: For ``load``/``store``, the array accessed.
+        targets: For terminators, names of successor blocks
+            (``branch`` lists ``[true_target, false_target]``).
+        callee: For ``call``, the name of the called function.
+        array_args: For ``call``, mapping from callee array-parameter
+            name to the caller's :class:`ArrayValue` bound to it.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        result: Optional[Value] = None,
+        operands: Optional[Sequence[Value]] = None,
+        array: Optional[ArrayValue] = None,
+        targets: Optional[Sequence[str]] = None,
+        callee: Optional[str] = None,
+        array_args: Optional[dict[str, ArrayValue]] = None,
+    ) -> None:
+        self.opcode = opcode
+        self.result = result
+        self.operands: list[Value] = list(operands or [])
+        self.array = array
+        self.targets: list[str] = list(targets or [])
+        self.callee = callee
+        self.array_args: dict[str, ArrayValue] = dict(array_args or {})
+        self.uid = next(Instruction._ids)
+        self._validate()
+
+    def _validate(self) -> None:
+        op = self.opcode
+        if op in BINARY_OPS and len(self.operands) != 2:
+            raise ValueError(f"{op} needs 2 operands, got {len(self.operands)}")
+        if op in (Opcode.NEG, Opcode.NOT, Opcode.MOV) and len(self.operands) != 1:
+            raise ValueError(f"{op} needs 1 operand, got {len(self.operands)}")
+        if op is Opcode.LOAD and (self.array is None or len(self.operands) != 1):
+            raise ValueError("load needs an array and one index operand")
+        if op is Opcode.STORE and (self.array is None or len(self.operands) != 2):
+            raise ValueError("store needs an array, an index and a value operand")
+        if op is Opcode.JUMP and len(self.targets) != 1:
+            raise ValueError("jump needs exactly one target")
+        if op is Opcode.BRANCH and (len(self.targets) != 2 or len(self.operands) != 1):
+            raise ValueError("branch needs a condition and two targets")
+        if op is Opcode.CALL and self.callee is None:
+            raise ValueError("call needs a callee name")
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_datapath_op(self) -> bool:
+        """True when the instruction occupies a datapath functional unit."""
+        return self.opcode in BINARY_OPS or self.opcode in (Opcode.NEG, Opcode.NOT)
+
+    def constants(self) -> list[Constant]:
+        """Return the literal-constant operands of this instruction."""
+        return [op for op in self.operands if isinstance(op, Constant)]
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` in operands; return count."""
+        count = 0
+        for i, op in enumerate(self.operands):
+            if op is old or (isinstance(op, Constant) and op == old):
+                self.operands[i] = new
+                count += 1
+        return count
+
+    def result_type(self) -> Optional[IntType]:
+        if self.result is not None and isinstance(self.result.type, IntType):
+            return self.result.type
+        return None
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        if self.result is not None:
+            parts.append(f"{self.result} = ")
+        parts.append(str(self.opcode))
+        if self.callee:
+            parts.append(f" @{self.callee}")
+        if self.array is not None:
+            parts.append(f" {self.array.name}")
+        if self.operands:
+            parts.append(" " + ", ".join(str(op) for op in self.operands))
+        if self.targets:
+            parts.append(" -> " + ", ".join(self.targets))
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Instruction {self}>"

@@ -1,0 +1,94 @@
+"""Human-readable IR dumps with CFG and schedule annotations.
+
+The plain ``str()`` of a function prints bare instructions; this module
+adds the analyses a developer wants while debugging the flow: block
+predecessors/successors, loop membership, per-instruction constants,
+and (when a schedule is supplied) the assigned control step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.function import Function, Module
+from repro.ir.values import Constant, ObfuscatedConstant
+
+
+def format_function(
+    func: Function,
+    schedule: Optional[object] = None,
+    show_cfg: bool = True,
+) -> str:
+    """Render one function; pass a ``FunctionSchedule`` to show csteps."""
+    cfg = ControlFlowGraph(func) if show_cfg else None
+    loops = cfg.blocks_in_loops() if cfg is not None else set()
+    params = ", ".join(f"{p.type} {p.name}" for p in func.params)
+    lines = [f"func {func.return_type} @{func.name}({params}) {{"]
+    for array in func.local_arrays():
+        init = ""
+        if array.initializer is not None:
+            preview = ", ".join(str(v) for v in array.initializer[:8])
+            ellipsis = ", ..." if len(array.initializer) > 8 else ""
+            init = f" = {{{preview}{ellipsis}}}"
+        lines.append(f"  alloc {array.type} {array.name}{init}")
+    for name, block in func.blocks.items():
+        annotations = []
+        if cfg is not None:
+            preds = cfg.preds.get(name, [])
+            if preds:
+                annotations.append(f"preds: {', '.join(preds)}")
+            if name in loops:
+                annotations.append("in-loop")
+        suffix = f"    ; {' | '.join(annotations)}" if annotations else ""
+        lines.append(f"{name}:{suffix}")
+        block_schedule = None
+        if schedule is not None:
+            block_schedule = schedule.blocks.get(name)
+        for inst in block.instructions:
+            step = ""
+            if block_schedule is not None:
+                step = f"[c{block_schedule.cstep_of[inst.uid]}] "
+            note = _constant_note(inst)
+            lines.append(f"  {step}{inst}{note}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _constant_note(inst) -> str:
+    notes = []
+    for operand in inst.operands:
+        if isinstance(operand, ObfuscatedConstant):
+            notes.append(
+                f"{operand.name}=enc({operand.original.value})@k{operand.key_offset}"
+            )
+        elif isinstance(operand, Constant) and abs(operand.value) >= 2:
+            pass  # plain constants already print inline
+    if notes:
+        return "    ; " + ", ".join(notes)
+    return ""
+
+
+def format_module(module: Module, show_cfg: bool = True) -> str:
+    """Render every function in the module."""
+    header = f"; module {module.name} ({module.source_lines} source lines)"
+    bodies = [format_function(f, show_cfg=show_cfg) for f in module]
+    return "\n\n".join([header] + bodies)
+
+
+def cfg_dot(func: Function) -> str:
+    """Graphviz dot text of the function's CFG (for visual debugging)."""
+    cfg = ControlFlowGraph(func)
+    lines = [f'digraph "{func.name}" {{', "  node [shape=box];"]
+    for name, block in func.blocks.items():
+        count = len(block.instructions)
+        lines.append(f'  "{name}" [label="{name}\\n{count} insts"];')
+    for src, dests in cfg.succs.items():
+        term = func.blocks[src].terminator
+        for index, dst in enumerate(dests):
+            label = ""
+            if term is not None and len(dests) == 2:
+                label = ' [label="T"]' if index == 0 else ' [label="F"]'
+            lines.append(f'  "{src}" -> "{dst}"{label};')
+    lines.append("}")
+    return "\n".join(lines)

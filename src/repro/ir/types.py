@@ -1,0 +1,138 @@
+"""Type system for the repro intermediate representation.
+
+The IR uses a small, hardware-oriented type lattice: fixed-width
+integers (signed or unsigned), single-dimension arrays of integers, and
+``void`` for functions without a return value.  Widths are arbitrary
+positive bit counts, mirroring what an HLS tool needs (bit-accurate
+datapaths), rather than the C widths only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return str(self)
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    """The type of functions that return nothing."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """A fixed-width two's-complement integer.
+
+    Attributes:
+        width: Bit width, at least 1.
+        signed: Whether arithmetic on this type is signed.
+    """
+
+    width: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"integer width must be >= 1, got {self.width}")
+
+    def __str__(self) -> str:
+        prefix = "i" if self.signed else "u"
+        return f"{prefix}{self.width}"
+
+    @property
+    def min_value(self) -> int:
+        """Smallest representable value."""
+        if self.signed:
+            return -(1 << (self.width - 1))
+        return 0
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce ``value`` modulo 2**width into this type's range."""
+        mask = (1 << self.width) - 1
+        value &= mask
+        if self.signed and value > self.max_value:
+            value -= 1 << self.width
+        return value
+
+    def contains(self, value: int) -> bool:
+        """Return True if ``value`` is representable without wrapping."""
+        return self.min_value <= value <= self.max_value
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A one-dimensional array of integers with a static element count."""
+
+    element: IntType
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"array size must be >= 1, got {self.size}")
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.size}]"
+
+
+VOID = VoidType()
+BOOL = IntType(1, signed=False)
+INT8 = IntType(8, signed=True)
+UINT8 = IntType(8, signed=False)
+INT16 = IntType(16, signed=True)
+UINT16 = IntType(16, signed=False)
+INT32 = IntType(32, signed=True)
+UINT32 = IntType(32, signed=False)
+INT64 = IntType(64, signed=True)
+UINT64 = IntType(64, signed=False)
+
+#: Mapping from C-subset type keywords to IR types.
+C_TYPE_NAMES = {
+    "void": VOID,
+    "char": INT8,
+    "uchar": UINT8,
+    "short": INT16,
+    "ushort": UINT16,
+    "int": INT32,
+    "uint": UINT32,
+    "long": INT64,
+    "ulong": UINT64,
+    "bool": BOOL,
+}
+
+
+def common_type(a: IntType, b: IntType) -> IntType:
+    """Return the usual-arithmetic-conversion result of two int types.
+
+    Follows C-like promotion: the wider width wins; on equal widths an
+    unsigned operand makes the result unsigned.
+    """
+    width = max(a.width, b.width)
+    if a.width == b.width:
+        signed = a.signed and b.signed
+    elif a.width > b.width:
+        signed = a.signed
+    else:
+        signed = b.signed
+    return IntType(width, signed)
+
+
+def bits_for_value(value: int) -> int:
+    """Minimum two's-complement bits needed to store ``value``."""
+    if value >= 0:
+        return max(1, value.bit_length() + 1)
+    return max(1, (-value - 1).bit_length() + 1)

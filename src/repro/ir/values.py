@@ -1,0 +1,172 @@
+"""Value model for the repro IR.
+
+Every operand or result of an instruction is a :class:`Value`.  The IR
+distinguishes virtual registers (:class:`Temp`), named program variables
+(:class:`Variable`), literal constants (:class:`Constant`), and arrays
+(:class:`ArrayValue`).  Values are hashable and compared by identity
+except for constants, which compare by (value, type).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.ir.types import ArrayType, IntType, Type
+
+
+class Value:
+    """Base class for IR values.
+
+    Attributes:
+        type: Static type of the value.
+        name: Human-readable name used by the printer.
+    """
+
+    def __init__(self, type_: Type, name: str) -> None:
+        self.type = type_
+        self.name = name
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.__class__.__name__}({self.name}: {self.type})"
+
+
+class Temp(Value):
+    """A virtual register produced by exactly one instruction per block."""
+
+    _ids = itertools.count()
+
+    def __init__(self, type_: IntType, name: Optional[str] = None) -> None:
+        index = next(Temp._ids)
+        super().__init__(type_, name or f"%t{index}")
+        self.index = index
+
+
+class Variable(Value):
+    """A named scalar program variable (register-allocated by HLS)."""
+
+    def __init__(self, type_: IntType, name: str, is_param: bool = False) -> None:
+        super().__init__(type_, name)
+        self.is_param = is_param
+
+
+class ArrayValue(Value):
+    """A named array mapped to a memory by HLS.
+
+    Attributes:
+        is_param: True when the array is a function parameter (an
+            external memory interface rather than a local RAM).
+        initializer: Optional list of initial element values.
+    """
+
+    def __init__(
+        self,
+        type_: ArrayType,
+        name: str,
+        is_param: bool = False,
+        initializer: Optional[list[int]] = None,
+    ) -> None:
+        super().__init__(type_, name)
+        self.is_param = is_param
+        self.initializer = initializer
+
+    @property
+    def element_type(self) -> IntType:
+        assert isinstance(self.type, ArrayType)
+        return self.type.element
+
+    @property
+    def size(self) -> int:
+        assert isinstance(self.type, ArrayType)
+        return self.type.size
+
+
+class Constant(Value):
+    """An integer literal.
+
+    Constants are the primary target of TAO's front-end obfuscation: the
+    pass replaces them with key-decoded values (see
+    ``repro.tao.constants_pass``).
+    """
+
+    def __init__(self, value: int, type_: IntType) -> None:
+        if not isinstance(value, int):
+            raise TypeError(f"constant value must be int, got {type(value)!r}")
+        wrapped = type_.wrap(value)
+        super().__init__(type_, str(wrapped))
+        self.value = wrapped
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Constant)
+            and other.value == self.value
+            and other.type == self.type
+        )
+
+    def __hash__(self) -> int:
+        return hash((Constant, self.value, self.type))
+
+
+class ObfuscatedConstant(Value):
+    """A constant stored XOR-encrypted against working-key bits.
+
+    Produced by TAO's constant-extraction pass (paper §3.3.2).  The
+    micro-architecture stores ``stored_value`` (:math:`V^e_i`) in a
+    fixed ``storage_width`` of C bits — hiding the constant's true
+    range — and recovers the plaintext as ``stored_value ^ key_slice``
+    where ``key_slice`` is the C working-key bits starting at
+    ``key_offset``.  With the correct key the decode equals the
+    original constant exactly (the value semantics keep the original
+    type); any other key yields a decoy value.
+
+    Attributes:
+        stored_value: The encrypted C-bit pattern kept in the netlist.
+        key_offset: Bit offset of this constant's slice in the working key.
+        storage_width: C, the uniform constant width (paper uses 32).
+        original: The plaintext constant (design-time only; never
+            emitted to RTL).
+    """
+
+    _count = itertools.count()
+
+    def __init__(
+        self,
+        stored_value: int,
+        key_offset: int,
+        storage_width: int,
+        original: "Constant",
+    ) -> None:
+        index = next(ObfuscatedConstant._count)
+        assert isinstance(original.type, IntType)
+        super().__init__(original.type, f"%kconst{index}")
+        mask = (1 << storage_width) - 1
+        self.stored_value = stored_value & mask
+        self.key_offset = key_offset
+        self.storage_width = storage_width
+        self.original = original
+
+    def decode(self, working_key_bits: int) -> int:
+        """Decrypt against a full working key given as an integer."""
+        mask = (1 << self.storage_width) - 1
+        key_slice = (working_key_bits >> self.key_offset) & mask
+        raw = (self.stored_value ^ key_slice) & mask
+        # Interpret the C-bit pattern with the original signedness, then
+        # wrap into the original type so a correct key is lossless.
+        assert isinstance(self.type, IntType)
+        if self.type.signed and raw >> (self.storage_width - 1):
+            raw -= 1 << self.storage_width
+        return self.type.wrap(raw)
+
+    @staticmethod
+    def encode(value: int, key_slice: int, storage_width: int) -> int:
+        """Design-time encryption: C-bit pattern of ``value ^ key``."""
+        mask = (1 << storage_width) - 1
+        return (value & mask) ^ (key_slice & mask)
+
+
+def const(value: int, width: int = 32, signed: bool = True) -> Constant:
+    """Convenience constructor for integer constants."""
+    return Constant(value, IntType(width, signed))

@@ -1,0 +1,99 @@
+"""IR structural verifier.
+
+Run after front-end lowering and after each transformation pass to catch
+malformed IR early: missing terminators, dangling branch targets,
+type-less results, or unterminated blocks.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Opcode
+from repro.ir.types import IntType, VoidType
+from repro.ir.values import ArrayValue, Constant, Temp, Value, Variable
+
+
+class VerificationError(Exception):
+    """Raised when IR fails structural checks."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function; raise :class:`VerificationError` on failure."""
+    for func in module:
+        verify_function(func, module)
+
+
+def verify_function(func: Function, module: Module | None = None) -> None:
+    if not func.blocks:
+        raise VerificationError(f"{func.name}: function has no blocks")
+    block_names = set(func.blocks)
+    for block in func.blocks.values():
+        if not block.is_terminated:
+            raise VerificationError(f"{func.name}/{block.name}: missing terminator")
+        for position, inst in enumerate(block.instructions):
+            if inst.is_terminator and position != len(block.instructions) - 1:
+                raise VerificationError(
+                    f"{func.name}/{block.name}: terminator {inst} not at block end"
+                )
+            for target in inst.targets:
+                if target not in block_names:
+                    raise VerificationError(
+                        f"{func.name}/{block.name}: unknown target {target!r}"
+                    )
+            _verify_instruction(func, block.name, inst, module)
+
+
+def _verify_instruction(func, block_name: str, inst, module: Module | None) -> None:
+    for operand in inst.operands:
+        if not isinstance(operand, Value):
+            raise VerificationError(
+                f"{func.name}/{block_name}: non-value operand {operand!r} in {inst}"
+            )
+        if isinstance(operand, ArrayValue):
+            raise VerificationError(
+                f"{func.name}/{block_name}: array used as scalar operand in {inst}"
+            )
+    if inst.result is not None and not isinstance(inst.result.type, IntType):
+        raise VerificationError(
+            f"{func.name}/{block_name}: result of {inst} has non-int type"
+        )
+    if inst.opcode in (Opcode.LOAD, Opcode.STORE):
+        assert inst.array is not None
+        if inst.array.name not in func.arrays:
+            raise VerificationError(
+                f"{func.name}/{block_name}: unknown array {inst.array.name!r}"
+            )
+    if inst.opcode is Opcode.RET:
+        returns_value = not isinstance(func.return_type, VoidType)
+        if returns_value and len(inst.operands) != 1:
+            raise VerificationError(
+                f"{func.name}/{block_name}: ret must carry a value"
+            )
+        if not returns_value and inst.operands:
+            raise VerificationError(
+                f"{func.name}/{block_name}: void function returns a value"
+            )
+    if inst.opcode is Opcode.CALL and module is not None:
+        callee = module.get(inst.callee)
+        if callee is None:
+            raise VerificationError(
+                f"{func.name}/{block_name}: call to unknown function "
+                f"{inst.callee!r}"
+            )
+        expected = len(callee.params)
+        # Array parameters are passed out-of-band (by name binding), so
+        # operand count equals the scalar parameter count.
+        scalar_expected = len(callee.scalar_params())
+        if len(inst.operands) != scalar_expected:
+            raise VerificationError(
+                f"{func.name}/{block_name}: call @{inst.callee} expects "
+                f"{scalar_expected} scalar args, got {len(inst.operands)}"
+            )
+        if callee.returns_value and inst.result is None:
+            # Allowed: caller may ignore the return value.
+            pass
+        if not callee.returns_value and inst.result is not None:
+            raise VerificationError(
+                f"{func.name}/{block_name}: void call @{inst.callee} "
+                "assigns a result"
+            )

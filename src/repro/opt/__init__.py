@@ -1,0 +1,26 @@
+"""IR optimization passes and the pass manager."""
+
+from repro.opt.algebraic import simplify_algebraic
+from repro.opt.constant_folding import evaluate_op, fold_constants, propagate_copies
+from repro.opt.cse import local_cse
+from repro.opt.dce import eliminate_dead_code, remove_unreachable_blocks
+from repro.opt.inline import inline_module
+from repro.opt.loop_unroll import unroll_loops
+from repro.opt.pass_manager import PassManager, default_pipeline, optimize_module
+from repro.opt.simplify_cfg import simplify_cfg
+
+__all__ = [
+    "PassManager",
+    "default_pipeline",
+    "eliminate_dead_code",
+    "evaluate_op",
+    "fold_constants",
+    "inline_module",
+    "local_cse",
+    "optimize_module",
+    "propagate_copies",
+    "remove_unreachable_blocks",
+    "simplify_algebraic",
+    "simplify_cfg",
+    "unroll_loops",
+]

@@ -1,0 +1,128 @@
+"""Algebraic simplification and strength reduction.
+
+Rewrites the identities every HLS front-end applies before scheduling:
+
+* additive/multiplicative identities: ``x+0``, ``x-0``, ``x*1``,
+  ``x/1``, ``x|0``, ``x^0``, ``x&~0``, ``x<<0``, ``x>>0`` become moves;
+* annihilators: ``x*0``, ``x&0``, ``x%1`` become constant 0;
+* self-cancellation: ``x-x``, ``x^x`` become 0; ``x&x``, ``x|x``
+  become moves;
+* strength reduction: ``x * 2^k`` becomes ``x << k``, ``x / 2^k`` (for
+  unsigned x) becomes ``x >> k``, ``x % 2^k`` (unsigned) becomes
+  ``x & (2^k - 1)``.
+
+This pass matters to the TAO reproduction: §3.3.2 argues constant
+obfuscation *blocks* these very rewrites in the fabricated design
+(the optimizer can no longer see that a multiplier operand is a power
+of two) — our flow applies them before obfuscation, as Bambu does, and
+tests assert obfuscated constants are never simplified away.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import IntType
+from repro.ir.values import Constant, ObfuscatedConstant, Value
+
+
+def _plain_constant(value: Value) -> Optional[Constant]:
+    """The operand as a literal constant; obfuscated constants opaque."""
+    if isinstance(value, ObfuscatedConstant):
+        return None  # key-dependent: must not be folded
+    if isinstance(value, Constant):
+        return value
+    return None
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def simplify_algebraic(func: Function, module: Module) -> bool:
+    """Apply algebraic identities in place; returns True on any rewrite."""
+    changed = False
+    for block in func.blocks.values():
+        for inst in block.instructions:
+            if _simplify_instruction(inst):
+                changed = True
+    return changed
+
+
+def _simplify_instruction(inst: Instruction) -> bool:
+    if not inst.is_datapath_op or inst.result is None:
+        return False
+    result_type = inst.result.type
+    if not isinstance(result_type, IntType):
+        return False
+    if len(inst.operands) != 2:
+        return False
+    lhs, rhs = inst.operands
+    lhs_const = _plain_constant(lhs)
+    rhs_const = _plain_constant(rhs)
+    op = inst.opcode
+
+    def to_mov(source: Value) -> bool:
+        inst.opcode = Opcode.MOV
+        inst.operands = [source]
+        return True
+
+    def to_zero() -> bool:
+        return to_mov(Constant(0, result_type))
+
+    # x + 0, 0 + x, x - 0, x | 0, x ^ 0, x << 0, x >> 0
+    if rhs_const is not None and rhs_const.value == 0:
+        if op in (Opcode.ADD, Opcode.SUB, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR):
+            return to_mov(lhs)
+        if op is Opcode.AND or op is Opcode.MUL:
+            return to_zero()
+    if lhs_const is not None and lhs_const.value == 0:
+        if op in (Opcode.ADD, Opcode.OR, Opcode.XOR):
+            return to_mov(rhs)
+        if op in (Opcode.MUL, Opcode.AND, Opcode.DIV, Opcode.REM, Opcode.SHL, Opcode.SHR):
+            return to_zero()
+
+    # x * 1, 1 * x, x / 1
+    if rhs_const is not None and rhs_const.value == 1:
+        if op in (Opcode.MUL, Opcode.DIV):
+            return to_mov(lhs)
+        if op is Opcode.REM:
+            return to_zero()
+    if lhs_const is not None and lhs_const.value == 1 and op is Opcode.MUL:
+        return to_mov(rhs)
+
+    # x & ~0 (all-ones mask of the operand width)
+    if rhs_const is not None and op is Opcode.AND:
+        assert isinstance(rhs_const.type, IntType)
+        all_ones = rhs_const.type.wrap(-1)
+        if rhs_const.value == all_ones and rhs_const.type.width >= result_type.width:
+            return to_mov(lhs)
+
+    # self-cancellation / idempotence
+    if lhs is rhs and lhs_const is None:
+        if op in (Opcode.SUB, Opcode.XOR):
+            return to_zero()
+        if op in (Opcode.AND, Opcode.OR):
+            return to_mov(lhs)
+
+    # strength reduction on plain (non-obfuscated) power-of-two constants
+    if rhs_const is not None and _is_power_of_two(rhs_const.value):
+        shift = rhs_const.value.bit_length() - 1
+        if shift > 0:
+            if op is Opcode.MUL:
+                inst.opcode = Opcode.SHL
+                inst.operands = [lhs, Constant(shift, IntType(32, signed=True))]
+                return True
+            unsigned_lhs = isinstance(lhs.type, IntType) and not lhs.type.signed
+            if op is Opcode.DIV and unsigned_lhs:
+                inst.opcode = Opcode.SHR
+                inst.operands = [lhs, Constant(shift, IntType(32, signed=True))]
+                return True
+            if op is Opcode.REM and unsigned_lhs:
+                inst.opcode = Opcode.AND
+                mask = rhs_const.value - 1
+                inst.operands = [lhs, Constant(mask, lhs.type)]
+                return True
+    return False

@@ -1,0 +1,184 @@
+"""Constant folding and copy/constant propagation.
+
+Operates block-locally (the IR is not SSA): within a block, a variable
+or temp holding a known constant is substituted forward until a
+redefinition.  Fully-constant datapath operations are folded into MOVs
+of the computed constant; branches on constant conditions become jumps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import IntType
+from repro.ir.values import Constant, Temp, Value, Variable
+
+
+def evaluate_op(
+    opcode: Opcode, operands: list[int], operand_types: list[IntType], result_type: IntType
+) -> Optional[int]:
+    """Evaluate an opcode over Python ints; returns the wrapped result.
+
+    Division/remainder by zero returns 0 (total hardware semantics).
+    Shift amounts are taken modulo the result width to stay total.
+    """
+    if opcode is Opcode.ADD:
+        raw = operands[0] + operands[1]
+    elif opcode is Opcode.SUB:
+        raw = operands[0] - operands[1]
+    elif opcode is Opcode.MUL:
+        raw = operands[0] * operands[1]
+    elif opcode is Opcode.DIV:
+        if operands[1] == 0:
+            raw = 0
+        else:
+            quotient = abs(operands[0]) // abs(operands[1])
+            raw = -quotient if (operands[0] < 0) != (operands[1] < 0) else quotient
+    elif opcode is Opcode.REM:
+        if operands[1] == 0:
+            raw = 0
+        else:
+            magnitude = abs(operands[0]) % abs(operands[1])
+            raw = -magnitude if operands[0] < 0 else magnitude
+    elif opcode is Opcode.NEG:
+        raw = -operands[0]
+    elif opcode is Opcode.AND:
+        raw = _to_bits(operands[0], operand_types[0]) & _to_bits(
+            operands[1], operand_types[1]
+        )
+    elif opcode is Opcode.OR:
+        raw = _to_bits(operands[0], operand_types[0]) | _to_bits(
+            operands[1], operand_types[1]
+        )
+    elif opcode is Opcode.XOR:
+        raw = _to_bits(operands[0], operand_types[0]) ^ _to_bits(
+            operands[1], operand_types[1]
+        )
+    elif opcode is Opcode.NOT:
+        raw = ~operands[0]
+    elif opcode is Opcode.SHL:
+        shift = operands[1] % max(1, result_type.width)
+        raw = operands[0] << shift
+    elif opcode is Opcode.SHR:
+        shift = operands[1] % max(1, result_type.width)
+        if operand_types[0].signed:
+            raw = operands[0] >> shift
+        else:
+            raw = _to_bits(operands[0], operand_types[0]) >> shift
+    elif opcode is Opcode.EQ:
+        raw = int(operands[0] == operands[1])
+    elif opcode is Opcode.NE:
+        raw = int(operands[0] != operands[1])
+    elif opcode is Opcode.LT:
+        raw = int(operands[0] < operands[1])
+    elif opcode is Opcode.LE:
+        raw = int(operands[0] <= operands[1])
+    elif opcode is Opcode.GT:
+        raw = int(operands[0] > operands[1])
+    elif opcode is Opcode.GE:
+        raw = int(operands[0] >= operands[1])
+    elif opcode is Opcode.MOV:
+        raw = operands[0]
+    else:
+        return None
+    return result_type.wrap(raw)
+
+
+def _to_bits(value: int, type_: IntType) -> int:
+    """Two's-complement bit pattern of ``value`` in its own width."""
+    return value & ((1 << type_.width) - 1)
+
+
+def fold_constants(func: Function, module: Module) -> bool:
+    """Propagate constants within blocks and fold constant operations."""
+    changed = False
+    for block in func.blocks.values():
+        known: dict[Value, Constant] = {}
+        for inst in block.instructions:
+            # Substitute known-constant operands.
+            for i, operand in enumerate(inst.operands):
+                if operand in known and not isinstance(operand, Constant):
+                    inst.operands[i] = known[operand]
+                    changed = True
+            # Fold fully-constant operations into constants.
+            if (
+                inst.opcode not in (Opcode.LOAD, Opcode.STORE, Opcode.CALL)
+                and not inst.is_terminator
+                and inst.result is not None
+                and all(isinstance(op, Constant) for op in inst.operands)
+                and isinstance(inst.result.type, IntType)
+            ):
+                values = [op.value for op in inst.operands]  # type: ignore[union-attr]
+                types = [op.type for op in inst.operands]  # type: ignore[union-attr]
+                folded = evaluate_op(inst.opcode, values, types, inst.result.type)
+                if folded is not None:
+                    constant = Constant(folded, inst.result.type)
+                    if inst.opcode is not Opcode.MOV or inst.operands[0] != constant:
+                        inst.opcode = Opcode.MOV
+                        inst.operands = [constant]
+                        inst.array = None
+                        changed = True
+                    known[inst.result] = constant
+                    continue
+            # Track constant assignments; kill on redefinition.
+            if inst.result is not None:
+                if (
+                    inst.opcode is Opcode.MOV
+                    and isinstance(inst.operands[0], Constant)
+                    and isinstance(inst.result.type, IntType)
+                ):
+                    known[inst.result] = Constant(
+                        inst.result.type.wrap(inst.operands[0].value),
+                        inst.result.type,
+                    )
+                else:
+                    known.pop(inst.result, None)
+        # Constant branch condition -> unconditional jump.
+        term = block.terminator
+        if (
+            term is not None
+            and term.opcode is Opcode.BRANCH
+            and isinstance(term.operands[0], Constant)
+        ):
+            target = term.targets[0] if term.operands[0].value else term.targets[1]
+            block.instructions[-1] = Instruction(Opcode.JUMP, targets=[target])
+            changed = True
+    return changed
+
+
+def propagate_copies(func: Function, module: Module) -> bool:
+    """Forward-substitute ``x = mov y`` within blocks (copy propagation)."""
+    changed = False
+    for block in func.blocks.values():
+        copies: dict[Value, Value] = {}
+        for inst in block.instructions:
+            for i, operand in enumerate(inst.operands):
+                root = operand
+                seen = set()
+                while root in copies and root not in seen:
+                    seen.add(root)
+                    root = copies[root]
+                if root is not operand:
+                    inst.operands[i] = root
+                    changed = True
+            if inst.result is not None:
+                # Any definition invalidates copies routed through it.
+                copies = {
+                    dst: src
+                    for dst, src in copies.items()
+                    if dst is not inst.result and src is not inst.result
+                }
+                if inst.opcode is Opcode.MOV and isinstance(
+                    inst.operands[0], (Temp, Variable)
+                ):
+                    src = inst.operands[0]
+                    same_width = (
+                        isinstance(src.type, IntType)
+                        and isinstance(inst.result.type, IntType)
+                        and src.type == inst.result.type
+                    )
+                    if same_width and isinstance(inst.result, Temp):
+                        copies[inst.result] = src
+    return changed

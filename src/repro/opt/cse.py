@@ -1,0 +1,54 @@
+"""Local common-subexpression elimination.
+
+Within a basic block, two datapath operations with the same opcode and
+operand identities compute the same value; the second is rewritten to a
+MOV of the first result.  Commutative operations are canonicalized by
+operand ordering.  Availability is invalidated when an operand is
+redefined (the IR is not SSA).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function, Module
+from repro.ir.instructions import COMMUTATIVE, Instruction, Opcode
+from repro.ir.values import Constant, Value
+
+
+def _operand_key(value: Value) -> tuple:
+    if isinstance(value, Constant):
+        return ("const", value.value, str(value.type))
+    return ("value", id(value))
+
+
+def local_cse(func: Function, module: Module) -> bool:
+    changed = False
+    for block in func.blocks.values():
+        available: dict[tuple, Value] = {}
+        # Reverse index: value -> expression keys whose operands use it.
+        uses: dict[int, list[tuple]] = {}
+        for inst in block.instructions:
+            # Redefinitions invalidate expressions using the old value and
+            # expressions producing into the redefined value (checked
+            # BEFORE recording this instruction's own expression).
+            if inst.result is not None:
+                for key in uses.pop(id(inst.result), []):
+                    available.pop(key, None)
+                for key, value in list(available.items()):
+                    if value is inst.result:
+                        del available[key]
+            if inst.is_datapath_op and inst.result is not None:
+                keys = [_operand_key(op) for op in inst.operands]
+                if inst.opcode in COMMUTATIVE:
+                    keys.sort()
+                key = (inst.opcode, str(inst.result.type), tuple(keys))
+                prior = available.get(key)
+                if prior is not None and prior is not inst.result:
+                    inst.opcode = Opcode.MOV
+                    inst.operands = [prior]
+                    changed = True
+                else:
+                    available[key] = inst.result
+                    for operand in inst.operands:
+                        if not isinstance(operand, Constant):
+                            uses.setdefault(id(operand), []).append(key)
+    return changed

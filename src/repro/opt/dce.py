@@ -1,0 +1,63 @@
+"""Dead-code elimination.
+
+Removes instructions whose results are never used and that have no side
+effects (stores, calls, terminators are always live), plus blocks
+unreachable from the entry.  Uses a whole-function liveness sweep
+iterated to a fixed point: a definition is live if any instruction uses
+its value anywhere (the IR is not SSA, so this is conservative but
+sound for dataflow through variables).
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Opcode
+from repro.ir.values import Constant, Temp, Value, Variable
+
+
+def eliminate_dead_code(func: Function, module: Module) -> bool:
+    changed = remove_unreachable_blocks(func)
+
+    # Iterate: removing one dead instruction can make another dead.
+    while True:
+        used: set[Value] = set()
+        for inst in func.instructions():
+            for operand in inst.operands:
+                if not isinstance(operand, Constant):
+                    used.add(operand)
+        # Return values of the function are observable through RET operands
+        # (already counted).  Output parameters: variables marked is_param
+        # stay live conservatively, as do all array stores.
+        removed = False
+        for block in func.blocks.values():
+            keep = []
+            for inst in block.instructions:
+                if inst.is_terminator or inst.opcode in (Opcode.STORE, Opcode.CALL):
+                    keep.append(inst)
+                    continue
+                if inst.result is None:
+                    keep.append(inst)
+                    continue
+                if inst.result in used:
+                    keep.append(inst)
+                    continue
+                if isinstance(inst.result, Variable) and inst.result.is_param:
+                    keep.append(inst)
+                    continue
+                removed = True
+            if len(keep) != len(block.instructions):
+                block.instructions[:] = keep
+        changed |= removed
+        if not removed:
+            break
+    return changed
+
+
+def remove_unreachable_blocks(func: Function) -> bool:
+    cfg = ControlFlowGraph(func)
+    reachable = cfg.reachable()
+    dead = [name for name in func.blocks if name not in reachable]
+    for name in dead:
+        func.remove_block(name)
+    return bool(dead)

@@ -1,0 +1,226 @@
+"""Function inlining (TAO §3.3.1 applies inlining before obfuscation).
+
+All calls reachable from each call-graph root are inlined bottom-up, so
+HLS sees one flat function per top-level entry point.  Recursion is
+rejected (unsupported by the HLS flow).
+
+Inlining a call site:
+
+1. clones the callee's blocks with fresh labels;
+2. renames callee temps/variables to fresh values;
+3. binds scalar parameters with MOVs and array parameters by
+   substituting the caller's arrays;
+4. splits the call block; RETs in the clone become jumps to the
+   continuation, with the return value moved into the call result.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.callgraph import CallGraph
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import ArrayType, IntType
+from repro.ir.values import ArrayValue, Constant, Temp, Value, Variable
+
+_clone_ids = itertools.count()
+
+
+def inline_module(module: Module) -> bool:
+    """Inline every call in the module, bottom-up over the call graph."""
+    graph = CallGraph(module)
+    for name in module.functions:
+        if graph.is_recursive(name):
+            raise ValueError(f"cannot inline recursive function {name!r}")
+    changed = False
+    for name in graph.topological_order():
+        func = module.function(name)
+        while _inline_one_call(func, module):
+            changed = True
+    # Drop functions that are now uncalled helpers (keep call-graph roots).
+    roots = set(CallGraph(module).roots()) or set(module.functions)
+    for name in list(module.functions):
+        if name not in roots:
+            del module.functions[name]
+            changed = True
+    return changed
+
+
+def _inline_one_call(func: Function, module: Module) -> bool:
+    """Find the first call in ``func`` and inline it; returns success."""
+    for block_name in list(func.blocks):
+        block = func.blocks[block_name]
+        for index, inst in enumerate(block.instructions):
+            if inst.opcode is Opcode.CALL:
+                callee = module.get(inst.callee or "")
+                if callee is None:
+                    raise ValueError(f"call to unknown function {inst.callee!r}")
+                _inline_call_site(func, block, index, inst, callee)
+                return True
+    return False
+
+
+def _inline_call_site(
+    func: Function,
+    block: BasicBlock,
+    index: int,
+    call: Instruction,
+    callee: Function,
+) -> None:
+    suffix = f".inl{next(_clone_ids)}"
+    value_map: dict[Value, Value] = {}
+    array_map: dict[str, ArrayValue] = {}
+
+    # Bind array parameters to the caller's arrays.
+    for param in callee.array_params():
+        bound = call.array_args.get(param.name)
+        if bound is None:
+            raise ValueError(
+                f"call to {callee.name!r} missing array argument {param.name!r}"
+            )
+        array_map[param.name] = bound
+
+    # Clone local arrays with fresh names.  Read-only initialized arrays
+    # (ROMs) are immutable, so one clone is shared by every call site of
+    # the same callee instead of duplicating the table per site.
+    written_in_callee = {
+        inst.array.name
+        for inst in callee.instructions()
+        if inst.opcode is Opcode.STORE and inst.array is not None
+    }
+    rom_cache: dict[tuple[str, str], ArrayValue] = getattr(
+        func, "_inline_rom_cache", {}
+    )
+    func._inline_rom_cache = rom_cache  # type: ignore[attr-defined]
+    for array in callee.local_arrays():
+        is_rom = array.initializer is not None and array.name not in written_in_callee
+        cache_key = (callee.name, array.name)
+        if is_rom and cache_key in rom_cache:
+            array_map[array.name] = rom_cache[cache_key]
+            continue
+        clone = ArrayValue(
+            array.type,  # type: ignore[arg-type]
+            array.name + suffix,
+            initializer=list(array.initializer) if array.initializer else None,
+        )
+        func.add_array(clone)
+        array_map[array.name] = clone
+        if is_rom:
+            rom_cache[cache_key] = clone
+
+    # Fresh scalars for parameters and any other variable/temp.
+    def map_value(value: Value) -> Value:
+        if isinstance(value, Constant):
+            return value
+        mapped = value_map.get(value)
+        if mapped is None:
+            if isinstance(value, Variable):
+                assert isinstance(value.type, IntType)
+                mapped = Variable(value.type, value.name + suffix)
+            elif isinstance(value, Temp):
+                assert isinstance(value.type, IntType)
+                mapped = Temp(value.type)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected value {value!r}")
+            value_map[value] = mapped
+        return mapped
+
+    # Split the call block: [0, index) stays; (index, end] moves to cont.
+    continuation = func.new_block(f"{block.name}.cont")
+    continuation.instructions = block.instructions[index + 1 :]
+    block.instructions = block.instructions[:index]
+
+    # Scalar parameter binding MOVs.
+    for param, arg in zip(callee.scalar_params(), call.operands):
+        bound_param = map_value(param)
+        block.instructions.append(
+            Instruction(Opcode.MOV, result=bound_param, operands=[arg])
+        )
+
+    # Clone callee blocks.
+    label_map = {name: name + suffix for name in callee.blocks}
+    for old_name, callee_block in callee.blocks.items():
+        clone = BasicBlock(label_map[old_name])
+        for inst in callee_block.instructions:
+            clone.instructions.append(
+                _clone_instruction(inst, map_value, array_map, label_map, call, continuation)
+            )
+        func.add_block(clone)
+
+    # Jump from the call block into the cloned entry.
+    block.instructions.append(
+        Instruction(Opcode.JUMP, targets=[label_map[callee.entry.name]])
+    )
+    fixup_inlined_blocks(func)
+
+
+def _clone_instruction(
+    inst: Instruction,
+    map_value,
+    array_map: dict[str, ArrayValue],
+    label_map: dict[str, str],
+    call: Instruction,
+    continuation: BasicBlock,
+) -> Instruction:
+    if inst.opcode is Opcode.RET:
+        # Return becomes: move value into call result (if any), jump out.
+        if call.result is not None and inst.operands:
+            returned = _map_operand(inst.operands[0], map_value)
+            # Pack the MOV and the JUMP into a tiny block? We cannot emit
+            # two instructions here, so fold the MOV into the continuation
+            # via a synthetic instruction sequence: emit MOV now and make
+            # the continuation start with it is not possible either.
+            # Instead we return a MOV and append the JUMP separately —
+            # handled by returning a compound below.
+            return _RetLowering(returned, call.result, continuation.name)
+        return Instruction(Opcode.JUMP, targets=[continuation.name])
+    new = Instruction(
+        inst.opcode,
+        result=map_value(inst.result) if inst.result is not None else None,
+        operands=[_map_operand(op, map_value) for op in inst.operands],
+        array=array_map.get(inst.array.name) if inst.array is not None else None,
+        targets=[label_map[t] for t in inst.targets],
+        callee=inst.callee,
+        array_args={
+            name: array_map.get(arr.name, arr)
+            for name, arr in inst.array_args.items()
+        },
+    )
+    return new
+
+
+def _map_operand(value: Value, map_value) -> Value:
+    if isinstance(value, Constant):
+        return value
+    return map_value(value)
+
+
+def _RetLowering(returned: Value, result: Value, continuation: str) -> Instruction:
+    """Lower ``ret v`` in an inlined body.
+
+    We need two instructions (MOV + JUMP) but the cloning loop emits one.
+    Trick: emit the MOV and tag it; a fixup pass below inserts the JUMP.
+    To keep things simple and robust we instead emit a MOV whose
+    ``targets`` carries the continuation, then normalize in a fixup.
+    """
+    inst = Instruction(Opcode.MOV, result=result, operands=[returned])
+    inst.targets = [continuation]  # non-standard: fixed up by caller
+    return inst
+
+
+def fixup_inlined_blocks(func: Function) -> None:
+    """Normalize MOV+targets pseudo-instructions produced by inlining."""
+    for block in func.blocks.values():
+        new_instructions = []
+        for inst in block.instructions:
+            if inst.opcode is Opcode.MOV and inst.targets:
+                target = inst.targets[0]
+                inst.targets = []
+                new_instructions.append(inst)
+                new_instructions.append(Instruction(Opcode.JUMP, targets=[target]))
+            else:
+                new_instructions.append(inst)
+        block.instructions[:] = new_instructions

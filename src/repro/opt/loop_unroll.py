@@ -1,0 +1,247 @@
+"""Full unrolling of small constant-trip-count loops.
+
+HLS front-ends unroll small loops to expose instruction-level
+parallelism to the scheduler (TAO's §3.3.1 lists "loop optimizations"
+among the transformations applied before key apportionment).  This
+pass fully unrolls natural loops of the canonical shape the front-end
+emits for ``for (i = C0; i cmp C1; i += C2)`` when:
+
+* the header's branch condition compares the induction variable with a
+  literal constant;
+* the induction variable is initialized to a literal before the loop
+  and stepped by a literal inside it;
+* the trip count is static and at most ``max_trip_count``;
+* the body contains no other writes to the induction variable and no
+  nested back edges.
+
+Unrolling changes Table 1's basic-block counts (the paper counted
+blocks after such optimizations), so the pass is off by default in the
+pipeline and exposed for the ablation benches and front-end
+experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.values import Constant, Temp, Value, Variable
+from repro.opt.constant_folding import evaluate_op
+
+_clone_counter = itertools.count()
+
+
+@dataclass
+class _LoopShape:
+    """A recognized counted loop."""
+
+    header: str
+    body_blocks: list[str]
+    exit_block: str
+    body_entry: str
+    induction: Value
+    start: int
+    bound: int
+    compare: Opcode
+    step: int
+    trip_count: int
+
+
+def unroll_loops(func: Function, module: Module, max_trip_count: int = 16) -> bool:
+    """Fully unroll eligible loops; returns True when any was unrolled."""
+    changed = False
+    # Re-analyze after each unroll: block set changes.
+    for _ in range(8):  # bounded number of loops per function
+        shape = _find_unrollable_loop(func, max_trip_count)
+        if shape is None:
+            return changed
+        _unroll(func, shape)
+        changed = True
+    return changed
+
+
+def _find_unrollable_loop(func: Function, max_trip: int) -> Optional[_LoopShape]:
+    cfg = ControlFlowGraph(func)
+    for tail, header in cfg.back_edges():
+        loop_blocks = cfg.natural_loop(tail, header)
+        # No nested loops: only one back edge targeting inside the loop.
+        inner_backedges = [
+            (t, h) for t, h in cfg.back_edges() if t in loop_blocks and h in loop_blocks
+        ]
+        if len(inner_backedges) != 1:
+            continue
+        shape = _match_counted_loop(func, cfg, header, loop_blocks, max_trip)
+        if shape is not None:
+            return shape
+    return None
+
+
+def _match_counted_loop(
+    func: Function,
+    cfg: ControlFlowGraph,
+    header: str,
+    loop_blocks: set[str],
+    max_trip: int,
+) -> Optional[_LoopShape]:
+    header_block = func.blocks[header]
+    term = header_block.terminator
+    if term is None or term.opcode is not Opcode.BRANCH:
+        return None
+    body_entry, exit_block = term.targets
+    if body_entry not in loop_blocks or exit_block in loop_blocks:
+        return None
+    # Header must compute exactly: cond = induction CMP constant.
+    compare = None
+    for inst in header_block.body:
+        if (
+            inst.result is term.operands[0]
+            and inst.opcode in (Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE, Opcode.NE)
+            and isinstance(inst.operands[1], Constant)
+            and isinstance(inst.operands[0], Variable)
+        ):
+            compare = inst
+    if compare is None or len(header_block.body) != 1:
+        return None
+    induction = compare.operands[0]
+    bound = compare.operands[1].value
+
+    # Find the single literal initialization before the loop and the
+    # single literal step inside it.  The front-end lowers ``i += C`` to
+    # ``t = add i, C; i = mov t``, so the in-loop write is a MOV whose
+    # source is an add of the induction variable and a literal.
+    start = None
+    step = None
+    for name, block in func.blocks.items():
+        adds_in_block: dict[Value, int] = {}
+        for inst in block.instructions:
+            if (
+                inst.opcode is Opcode.ADD
+                and inst.result is not None
+                and inst.operands[0] is induction
+                and isinstance(inst.operands[1], Constant)
+            ):
+                adds_in_block[inst.result] = inst.operands[1].value
+            if inst.result is not induction:
+                continue
+            if name in loop_blocks:
+                if inst.opcode is Opcode.ADD and inst.operands[0] is induction and isinstance(inst.operands[1], Constant):
+                    if step is not None:
+                        return None
+                    step = inst.operands[1].value
+                elif inst.opcode is Opcode.MOV and inst.operands[0] in adds_in_block:
+                    if step is not None:
+                        return None
+                    step = adds_in_block[inst.operands[0]]
+                else:
+                    return None  # unexpected write pattern in loop
+            else:
+                if inst.opcode is Opcode.MOV and isinstance(inst.operands[0], Constant):
+                    start = inst.operands[0].value
+                else:
+                    return None  # non-literal init
+    if start is None or step is None or step == 0:
+        return None
+
+    trip = _trip_count(start, bound, compare.opcode, step)
+    if trip is None or trip > max_trip:
+        return None
+    body_blocks = [b for b in loop_blocks if b != header]
+    return _LoopShape(
+        header=header,
+        body_blocks=body_blocks,
+        exit_block=exit_block,
+        body_entry=body_entry,
+        induction=induction,
+        start=start,
+        bound=bound,
+        compare=compare.opcode,
+        step=step,
+        trip_count=trip,
+    )
+
+
+def _trip_count(start: int, bound: int, compare: Opcode, step: int) -> Optional[int]:
+    value = start
+    for trip in range(0, 4097):
+        taken = evaluate_op(
+            compare,
+            [value, bound],
+            [Constant(0, _I32).type, Constant(0, _I32).type],
+            _BOOL,
+        )
+        if not taken:
+            return trip
+        value += step
+    return None
+
+
+from repro.ir.types import BOOL as _BOOL, INT32 as _I32  # noqa: E402
+
+
+def _unroll(func: Function, shape: _LoopShape) -> None:
+    """Replace the loop with trip_count copies of the body."""
+    suffix_base = next(_clone_counter)
+    header_block = func.blocks[shape.header]
+
+    # Retarget: all iterations chain body copies; the header becomes a
+    # plain jump into the first copy (or straight to the exit).
+    chain_entry = shape.exit_block
+    copies: list[dict[str, str]] = []
+    for iteration in range(shape.trip_count):
+        label_map = {
+            name: f"{name}.u{suffix_base}_{iteration}" for name in shape.body_blocks
+        }
+        copies.append(label_map)
+
+    # Build copies in order; iteration k's back-edge jump goes to
+    # iteration k+1's entry (or the exit after the last).
+    for iteration, label_map in enumerate(copies):
+        if iteration + 1 < len(copies):
+            next_entry = copies[iteration + 1][shape.body_entry]
+        else:
+            next_entry = shape.exit_block
+        for name in shape.body_blocks:
+            source = func.blocks[name]
+            clone = BasicBlock(label_map[name])
+            for inst in source.instructions:
+                clone.instructions.append(
+                    _clone_instruction(inst, label_map, shape.header, next_entry)
+                )
+            func.add_block(clone)
+
+    # Header: drop the compare, jump into the first iteration.
+    first_entry = (
+        copies[0][shape.body_entry] if shape.trip_count > 0 else shape.exit_block
+    )
+    header_block.instructions = [Instruction(Opcode.JUMP, targets=[first_entry])]
+
+    # Remove original body blocks.
+    for name in shape.body_blocks:
+        func.remove_block(name)
+
+
+def _clone_instruction(
+    inst: Instruction,
+    label_map: dict[str, str],
+    header: str,
+    header_replacement: str,
+) -> Instruction:
+    def map_target(target: str) -> str:
+        if target == header:
+            return header_replacement
+        return label_map.get(target, target)
+
+    return Instruction(
+        inst.opcode,
+        result=inst.result,
+        operands=list(inst.operands),
+        array=inst.array,
+        targets=[map_target(t) for t in inst.targets],
+        callee=inst.callee,
+        array_args=dict(inst.array_args),
+    )

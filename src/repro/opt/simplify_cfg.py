@@ -1,0 +1,108 @@
+"""CFG simplification.
+
+Three rewrites, iterated by the pass manager:
+
+* **Jump threading**: a block containing only a jump is bypassed; all
+  edges into it are retargeted to its successor.
+* **Block merging**: a block whose single successor has exactly one
+  predecessor absorbs that successor.
+* **Branch collapsing**: a branch whose two targets coincide becomes a
+  jump.
+
+Keeping the CFG minimal matters to the reproduction: Table 1's basic
+block counts and TAO's key apportionment (Eq. 1) are computed on the
+simplified CFG.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+
+
+def simplify_cfg(func: Function, module: Module) -> bool:
+    changed = False
+    changed |= _collapse_degenerate_branches(func)
+    changed |= _thread_jumps(func)
+    changed |= _merge_linear_blocks(func)
+    return changed
+
+
+def _collapse_degenerate_branches(func: Function) -> bool:
+    changed = False
+    for block in func.blocks.values():
+        term = block.terminator
+        if (
+            term is not None
+            and term.opcode is Opcode.BRANCH
+            and term.targets[0] == term.targets[1]
+        ):
+            block.instructions[-1] = Instruction(Opcode.JUMP, targets=[term.targets[0]])
+            changed = True
+    return changed
+
+
+def _thread_jumps(func: Function) -> bool:
+    """Retarget edges that point at empty jump-only blocks."""
+    # Map: trivial block -> ultimate destination (following chains).
+    forward: dict[str, str] = {}
+    for name, block in func.blocks.items():
+        if len(block.instructions) == 1 and block.instructions[0].opcode is Opcode.JUMP:
+            forward[name] = block.instructions[0].targets[0]
+
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in forward and name not in seen:
+            seen.add(name)
+            name = forward[name]
+        return name
+
+    changed = False
+    entry_name = func.entry.name
+    for block in func.blocks.values():
+        term = block.terminator
+        if term is None or not term.targets:
+            continue
+        for i, target in enumerate(term.targets):
+            final = resolve(target)
+            if final != target:
+                term.targets[i] = final
+                changed = True
+    # Drop now-unreachable trivial blocks (never the entry).
+    if changed:
+        cfg = ControlFlowGraph(func)
+        reachable = cfg.reachable()
+        for name in list(forward):
+            if name != entry_name and name not in reachable:
+                func.remove_block(name)
+    return changed
+
+
+def _merge_linear_blocks(func: Function) -> bool:
+    changed = False
+    while True:
+        cfg = ControlFlowGraph(func)
+        merged = False
+        for name in list(func.blocks):
+            if name not in func.blocks:
+                continue
+            block = func.blocks[name]
+            succs = cfg.succs.get(name, [])
+            if len(succs) != 1:
+                continue
+            succ_name = succs[0]
+            if succ_name == name or succ_name == func.entry.name:
+                continue
+            if len(cfg.preds[succ_name]) != 1:
+                continue
+            succ = func.blocks[succ_name]
+            # Absorb successor: drop our jump, append its instructions.
+            block.instructions.pop()
+            block.instructions.extend(succ.instructions)
+            func.remove_block(succ_name)
+            merged = True
+            changed = True
+            break  # CFG invalidated; recompute
+        if not merged:
+            return changed

@@ -1,0 +1,22 @@
+"""RTL back-end: Verilog emission and structural area/timing models."""
+
+from repro.rtl.area_model import AreaReport, estimate_area
+from repro.rtl.timing_model import TimingReport, estimate_timing
+from repro.rtl.testbench_gen import (
+    TestbenchVector,
+    VerilogTestbenchGenerator,
+    generate_testbench,
+)
+from repro.rtl.verilog import VerilogEmitter, emit_verilog
+
+__all__ = [
+    "AreaReport",
+    "TestbenchVector",
+    "TimingReport",
+    "VerilogTestbenchGenerator",
+    "VerilogEmitter",
+    "emit_verilog",
+    "estimate_area",
+    "estimate_timing",
+    "generate_testbench",
+]

@@ -1,0 +1,123 @@
+"""Structural area model (the logic-synthesis substitute).
+
+Computes a gate-area estimate (NAND2 equivalents) of an FSMD design
+from its bound structure:
+
+* functional units (merged multi-function area when DFG variants widen
+  an FU's operation set);
+* registers (datapath + working-key storage);
+* input multiplexers on FU ports, register write ports and memory
+  ports (sized by the number of distinct sources across all states and
+  variants) — the paper attributes the dominant obfuscation overhead to
+  exactly these muxes (§4.2);
+* XOR unmasking gates for obfuscated constants and masked branches;
+* local memories and the FSM controller;
+* optionally the key-management machinery (``repro.tao.keymgmt``).
+
+Absolute numbers are calibration-dependent; the reproduction uses the
+*normalized* overhead versus a baseline design, as Figure 6 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.design import FsmdDesign
+from repro.hls.resources import (
+    fsm_area,
+    memory_area,
+    merged_fu_area,
+    mux_area,
+    register_area,
+    xor_area,
+)
+from repro.ir.types import IntType
+from repro.ir.values import ObfuscatedConstant
+
+
+@dataclass
+class AreaReport:
+    """Area breakdown of one design (NAND2-equivalent gates)."""
+
+    functional_units: float = 0.0
+    registers: float = 0.0
+    multiplexers: float = 0.0
+    memories: float = 0.0
+    controller: float = 0.0
+    key_logic: float = 0.0  # XOR unmasking + working-key registers
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return (
+            self.functional_units
+            + self.registers
+            + self.multiplexers
+            + self.memories
+            + self.controller
+            + self.key_logic
+        )
+
+    def normalized_to(self, baseline: "AreaReport") -> float:
+        """This design's area as a multiple of ``baseline``'s."""
+        if baseline.total <= 0:
+            raise ValueError("baseline area must be positive")
+        return self.total / baseline.total
+
+
+def estimate_area(design: FsmdDesign, include_key_storage: bool = False) -> AreaReport:
+    """Estimate the gate area of ``design``."""
+    report = AreaReport()
+
+    # Functional units (variant merging widens optype sets).
+    merged_optypes = design.merged_fu_optypes()
+    for fu in design.binding.fus:
+        optypes = merged_optypes.get(fu.name, fu.optypes)
+        area = merged_fu_area(optypes, fu.width)
+        report.functional_units += area
+        report.breakdown[f"fu:{fu.name}"] = area
+
+    # Datapath registers.
+    for register in design.binding.registers:
+        report.registers += register_area(register.width)
+
+    # Input multiplexers.
+    fu_widths = {fu.name: fu.width for fu in design.binding.fus}
+    for (fu_name, _port), sources in design.fu_input_sources().items():
+        report.multiplexers += mux_area(len(sources), fu_widths.get(fu_name, 32))
+    register_widths = {r.name: r.width for r in design.binding.registers}
+    for register_name, sources in design.register_input_sources().items():
+        report.multiplexers += mux_area(
+            len(sources), register_widths.get(register_name, 32)
+        )
+    for array_name, sources in design.memory_port_sources().items():
+        array = design.func.arrays[array_name]
+        report.multiplexers += mux_area(len(sources), array.element_type.width)
+
+    # Memories: local RAM/ROM macros only (parameter arrays are external).
+    for memory_binding in design.binding.memories.values():
+        if not memory_binding.is_external:
+            report.memories += memory_area(memory_binding.bits)
+
+    # Controller.
+    commands = sum(
+        len(s.block.instructions) for s in design.schedule.blocks.values()
+    )
+    report.controller += fsm_area(
+        design.controller.n_states,
+        design.controller.n_transition_edges(),
+        commands,
+    )
+
+    # Key logic: XOR banks for constants, branch masks and ROM read ports.
+    for constant in design.obfuscated_constants:
+        report.key_logic += xor_area(constant.storage_width)
+    report.key_logic += xor_area(1) * len(design.masked_branches)
+    for array_name in design.obfuscated_roms:
+        element_width = design.func.arrays[array_name].element_type.width
+        report.key_logic += xor_area(element_width)
+    # Working-key registers.
+    if include_key_storage and design.key_config.working_key_bits:
+        report.key_logic += register_area(design.key_config.working_key_bits)
+
+    return report

@@ -1,0 +1,35 @@
+"""Simulation: golden IR interpreter, cycle-accurate FSMD simulator and
+testbench harness."""
+
+from repro.sim.fsmd_sim import FsmdSimulator, SimulationError, SimulationResult, simulate
+from repro.sim.interpreter import (
+    ExecutionResult,
+    Interpreter,
+    InterpreterError,
+    run_function,
+)
+from repro.sim.testbench import (
+    Testbench,
+    TestbenchOutcome,
+    default_observed_arrays,
+    hamming_distance_fraction,
+    output_bit_vector,
+    run_testbench,
+)
+
+__all__ = [
+    "ExecutionResult",
+    "FsmdSimulator",
+    "Interpreter",
+    "InterpreterError",
+    "SimulationError",
+    "SimulationResult",
+    "Testbench",
+    "TestbenchOutcome",
+    "default_observed_arrays",
+    "hamming_distance_fraction",
+    "output_bit_vector",
+    "run_function",
+    "run_testbench",
+    "simulate",
+]

@@ -1,0 +1,142 @@
+"""Testbench harness: compare FSMD simulations against the golden
+software model (paper §4.1: Bambu-generated testbenches extended with
+locking-key inputs).
+
+A :class:`Testbench` holds a workload (scalar args + array contents)
+for one top function; :func:`run_testbench` executes the golden IR
+interpretation and the FSMD simulation and reports agreement, output
+bit vectors (for Hamming-distance corruptibility) and cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.hls.design import FsmdDesign
+from repro.ir.function import Module
+from repro.ir.types import IntType
+from repro.sim.fsmd_sim import SimulationResult, simulate
+from repro.sim.interpreter import ExecutionResult, Interpreter
+
+
+@dataclass
+class Testbench:
+    """One workload for a top-level function.
+
+    ``observed_arrays`` names the arrays whose final contents count as
+    outputs (default: every parameter array the function stores to,
+    which is how HLS testbenches treat output memories).
+    """
+
+    __test__ = False  # not a pytest test class
+
+    args: list[int] = field(default_factory=list)
+    arrays: dict[str, list[int]] = field(default_factory=dict)
+    observed_arrays: Optional[list[str]] = None
+
+
+@dataclass
+class TestbenchOutcome:
+    """Joint result of golden execution and FSMD simulation."""
+
+    golden: ExecutionResult
+    simulated: SimulationResult
+    matches: bool
+    golden_bits: list[int]
+    simulated_bits: list[int]
+
+    @property
+    def cycles(self) -> int:
+        return self.simulated.cycles
+
+
+def output_bit_vector(
+    return_value: Optional[int],
+    arrays: dict[str, list[int]],
+    observed: Sequence[str],
+    module: Module,
+    func_name: str,
+) -> list[int]:
+    """Flatten observable outputs into a bit list (for Hamming distance)."""
+    func = module.function(func_name)
+    bits: list[int] = []
+    if func.returns_value and isinstance(func.return_type, IntType):
+        width = func.return_type.width
+        value = (return_value or 0) & ((1 << width) - 1)
+        bits.extend((value >> i) & 1 for i in range(width))
+    for name in observed:
+        array = func.arrays[name]
+        width = array.element_type.width
+        contents = arrays.get(name, [0] * array.size)
+        for element in contents:
+            pattern = element & ((1 << width) - 1)
+            bits.extend((pattern >> i) & 1 for i in range(width))
+    return bits
+
+
+def default_observed_arrays(module: Module, func_name: str) -> list[int]:
+    """Parameter arrays written by the function (its output memories)."""
+    from repro.ir.instructions import Opcode
+
+    func = module.function(func_name)
+    written = {
+        inst.array.name
+        for inst in func.instructions()
+        if inst.opcode is Opcode.STORE and inst.array is not None
+    }
+    return [a.name for a in func.array_params() if a.name in written]
+
+
+def run_testbench(
+    design: FsmdDesign,
+    bench: Testbench,
+    working_key: int = 0,
+    max_cycles: int = 2_000_000,
+) -> TestbenchOutcome:
+    """Run golden software and FSMD simulation; compare observables."""
+    module = design.module
+    func_name = design.func.name
+    observed = bench.observed_arrays
+    if observed is None:
+        observed = default_observed_arrays(module, func_name)
+
+    golden = Interpreter(module).run(func_name, bench.args, dict(bench.arrays))
+    simulated = simulate(
+        design,
+        bench.args,
+        dict(bench.arrays),
+        working_key=working_key,
+        max_cycles=max_cycles,
+    )
+    golden_bits = output_bit_vector(
+        golden.return_value, golden.arrays, observed, module, func_name
+    )
+    simulated_bits = output_bit_vector(
+        simulated.return_value, simulated.arrays, observed, module, func_name
+    )
+    matches = simulated.completed and golden_bits == simulated_bits
+    return TestbenchOutcome(
+        golden=golden,
+        simulated=simulated,
+        matches=matches,
+        golden_bits=golden_bits,
+        simulated_bits=simulated_bits,
+    )
+
+
+def hamming_distance_fraction(a: Sequence[int], b: Sequence[int]) -> float:
+    """Fraction of differing bits between two equal-length bit vectors.
+
+    When lengths differ (e.g. a timed-out run produced no outputs), the
+    missing tail counts as fully corrupted.
+    """
+    length = max(len(a), len(b))
+    if length == 0:
+        return 0.0
+    differing = sum(
+        1
+        for i in range(length)
+        if (a[i] if i < len(a) else None) != (b[i] if i < len(b) else None)
+    )
+    return differing / length

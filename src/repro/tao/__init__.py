@@ -1,0 +1,78 @@
+"""TAO: the paper's contribution — algorithm-level obfuscation passes,
+key apportionment/management and security metrics."""
+
+from repro.tao.attacks import (
+    KeySensitivityResult,
+    RandomKeyAttackResult,
+    ReplicationLeakResult,
+    SliceBruteForceResult,
+    brute_force_slice_with_oracle,
+    key_sensitivity_analysis,
+    random_key_attack,
+    replication_leak_analysis,
+)
+from repro.tao.branch_pass import mask_branches
+from repro.tao.constants_pass import obfuscate_constants
+from repro.tao.dfg_variants import (
+    create_dfg_variants,
+    hamming_distance,
+    obfuscate_dfgs,
+    variant_divergence,
+)
+from repro.tao.flow import ObfuscatedComponent, TaoFlow, obfuscate_source
+from repro.tao.key import (
+    KeyApportionment,
+    LockingKey,
+    ObfuscationParameters,
+    apportion_keys,
+    extractable_constants,
+)
+from repro.tao.keymgmt import (
+    AesKeyManager,
+    KeyManagementOverhead,
+    ReplicationKeyManager,
+    choose_working_key,
+)
+from repro.tao.rom_pass import RomObfuscation, eligible_roms, obfuscate_roms as obfuscate_rom_contents
+from repro.tao.metrics import (
+    KeyTrialResult,
+    ValidationReport,
+    output_corruptibility,
+    validate_component,
+)
+
+__all__ = [
+    "AesKeyManager",
+    "KeyApportionment",
+    "KeySensitivityResult",
+    "KeyManagementOverhead",
+    "KeyTrialResult",
+    "LockingKey",
+    "ObfuscatedComponent",
+    "ObfuscationParameters",
+    "RandomKeyAttackResult",
+    "ReplicationLeakResult",
+    "SliceBruteForceResult",
+    "ReplicationKeyManager",
+    "RomObfuscation",
+    "TaoFlow",
+    "ValidationReport",
+    "apportion_keys",
+    "brute_force_slice_with_oracle",
+    "choose_working_key",
+    "create_dfg_variants",
+    "eligible_roms",
+    "extractable_constants",
+    "hamming_distance",
+    "key_sensitivity_analysis",
+    "mask_branches",
+    "obfuscate_constants",
+    "obfuscate_dfgs",
+    "obfuscate_rom_contents",
+    "obfuscate_source",
+    "output_corruptibility",
+    "random_key_attack",
+    "replication_leak_analysis",
+    "validate_component",
+    "variant_divergence",
+]

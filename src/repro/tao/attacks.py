@@ -1,0 +1,249 @@
+"""Attack-surface evaluation under the untrusted-foundry threat model
+(paper §3.1 and §4.3's security discussion).
+
+These analyses quantify the *defender's* margin: how much an adversary
+with the netlist but no oracle chip and no key can learn.  They back
+the paper's claims that (a) no wrong key activates the circuit,
+(b) constants and branches "cannot be weakened even with SAT-based
+attacks" because the oracle is unavailable, and (c) with replication
+key management a leaked working-key bit compromises all its replicas.
+
+All attacks run against our own designs in simulation — this is the
+standard evaluation methodology for logic-locking defenses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.sim.testbench import (
+    Testbench,
+    hamming_distance_fraction,
+    run_testbench,
+)
+from repro.tao.flow import ObfuscatedComponent
+from repro.tao.key import LockingKey
+
+
+@dataclass
+class RandomKeyAttackResult:
+    """Outcome of random locking-key guessing."""
+
+    keys_tried: int
+    keys_unlocking: int
+    average_hamming: float
+    search_space_bits: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.keys_unlocking > 0
+
+
+def random_key_attack(
+    component: ObfuscatedComponent,
+    benches: Sequence[Testbench],
+    n_keys: int = 50,
+    seed: int = 0xA77AC,
+) -> RandomKeyAttackResult:
+    """Guess random locking keys; count how many unlock the design."""
+    rng = random.Random(seed)
+    design = component.design
+    good = run_testbench(
+        design, benches[0], working_key=component.correct_working_key
+    )
+    cap = max(8 * good.cycles, 4000)
+    unlocking = 0
+    hammings = []
+    for _ in range(n_keys):
+        guess = LockingKey.random(rng)
+        if guess.bits == component.locking_key.bits:
+            continue  # astronomically unlikely; skip to keep counts honest
+        working = component.working_key_for(guess)
+        all_match = True
+        hamming_sum = 0.0
+        for bench in benches:
+            outcome = run_testbench(design, bench, working_key=working, max_cycles=cap)
+            all_match &= outcome.matches
+            hamming_sum += hamming_distance_fraction(
+                outcome.golden_bits, outcome.simulated_bits
+            )
+        unlocking += all_match
+        hammings.append(hamming_sum / len(benches))
+    return RandomKeyAttackResult(
+        keys_tried=n_keys,
+        keys_unlocking=unlocking,
+        average_hamming=sum(hammings) / len(hammings) if hammings else 0.0,
+        search_space_bits=component.locking_key.width,
+    )
+
+
+@dataclass
+class KeySensitivityResult:
+    """Per-working-key-bit sensitivity of the design's outputs."""
+
+    total_bits: int
+    bits_probed: int
+    bits_affecting_output: int
+    by_category: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def sensitivity(self) -> float:
+        if self.bits_probed == 0:
+            return 0.0
+        return self.bits_affecting_output / self.bits_probed
+
+
+def key_sensitivity_analysis(
+    component: ObfuscatedComponent,
+    bench: Testbench,
+    max_bits_per_category: int = 16,
+    seed: int = 5,
+) -> KeySensitivityResult:
+    """Flip individual working-key bits and record which corrupt outputs.
+
+    Groups probes by obfuscation category (branch / constant / variant
+    slices).  High sensitivity means every key bit is load-bearing —
+    the attacker cannot prune the search space by ignoring dead bits.
+    """
+    design = component.design
+    config = design.key_config
+    correct = component.correct_working_key
+    good = run_testbench(design, bench, working_key=correct)
+    cap = max(8 * good.cycles, 4000)
+    rng = random.Random(seed)
+
+    categories: dict[str, list[int]] = {"branch": [], "constant": [], "variant": []}
+    categories["branch"] = sorted(config.branch_bits.values())
+    for offset, width in config.constant_slices:
+        categories["constant"].extend(range(offset, offset + width))
+    # Variant selectors of trivial blocks (no datapath ops) are inert by
+    # construction; probe the blocks whose variants steer real hardware.
+    substantial: list[int] = []
+    fallback: list[int] = []
+    for block_name, (offset, width) in config.block_slices.items():
+        bits = list(range(offset, offset + width))
+        block = design.func.blocks.get(block_name)
+        if block is not None and len(block.datapath_ops()) >= 2:
+            substantial.extend(bits)
+        else:
+            fallback.extend(bits)
+    categories["variant"] = substantial or fallback
+
+    probed = 0
+    affecting = 0
+    by_category: dict[str, tuple[int, int]] = {}
+    for name, bits in categories.items():
+        sample = bits
+        if len(sample) > max_bits_per_category:
+            sample = sorted(rng.sample(bits, max_bits_per_category))
+        category_affecting = 0
+        for bit in sample:
+            outcome = run_testbench(
+                design, bench, working_key=correct ^ (1 << bit), max_cycles=cap
+            )
+            category_affecting += not outcome.matches
+        probed += len(sample)
+        affecting += category_affecting
+        by_category[name] = (category_affecting, len(sample))
+
+    return KeySensitivityResult(
+        total_bits=config.working_key_bits,
+        bits_probed=probed,
+        bits_affecting_output=affecting,
+        by_category=by_category,
+    )
+
+
+@dataclass
+class SliceBruteForceResult:
+    """Brute force of one key slice with/without an oracle."""
+
+    slice_bits: int
+    candidates: int
+    consistent_with_oracle: int
+    recovered_exactly: bool
+
+
+def brute_force_slice_with_oracle(
+    component: ObfuscatedComponent,
+    bench: Testbench,
+    which: str = "branch",
+    seed: int = 9,
+) -> SliceBruteForceResult:
+    """What an attacker WITH an oracle could do to one small slice.
+
+    The untrusted-foundry model denies the oracle (no unlocked chip),
+    which is exactly why TAO resists SAT-style attacks (§4.3).  This
+    analysis demonstrates the flip side: given oracle outputs, a single
+    branch bit or variant selector is recoverable by enumeration, so
+    the security argument genuinely rests on oracle denial, not on the
+    slice sizes.
+    """
+    design = component.design
+    config = design.key_config
+    correct = component.correct_working_key
+    oracle = run_testbench(design, bench, working_key=correct)
+    cap = max(8 * oracle.cycles, 4000)
+
+    if which == "branch":
+        if not config.branch_bits:
+            raise ValueError("design has no masked branches")
+        bit = sorted(config.branch_bits.values())[0]
+        offset, width = bit, 1
+    elif which == "variant":
+        if not config.block_slices:
+            raise ValueError("design has no variant blocks")
+        offset, width = sorted(config.block_slices.values())[0]
+    else:
+        raise ValueError(f"unknown slice category {which!r}")
+
+    mask = ((1 << width) - 1) << offset
+    consistent = []
+    for candidate in range(1 << width):
+        probe = (correct & ~mask) | (candidate << offset)
+        outcome = run_testbench(design, bench, working_key=probe, max_cycles=cap)
+        if outcome.simulated_bits == oracle.simulated_bits and outcome.matches:
+            consistent.append(candidate)
+    true_value = (correct & mask) >> offset
+    return SliceBruteForceResult(
+        slice_bits=width,
+        candidates=1 << width,
+        consistent_with_oracle=len(consistent),
+        recovered_exactly=consistent == [true_value],
+    )
+
+
+@dataclass
+class ReplicationLeakResult:
+    """Impact of leaking working-key bits under replication management."""
+
+    leaked_working_bits: int
+    revealed_locking_bits: int
+    revealed_working_bits: int
+    fanout: int
+
+
+def replication_leak_analysis(
+    component: ObfuscatedComponent, leaked_bits: Sequence[int]
+) -> ReplicationLeakResult:
+    """Quantify §3.4's warning: with replication, each leaked working
+    bit reveals a locking bit and therefore all ``f`` replicas."""
+    from repro.tao.keymgmt import ReplicationKeyManager
+
+    manager = component.key_manager
+    if not isinstance(manager, ReplicationKeyManager):
+        raise ValueError("leak analysis applies to the replication scheme")
+    k = manager.locking_key_width
+    w = manager.working_key_bits
+    revealed_locking = {bit % k for bit in leaked_bits}
+    revealed_working = {
+        i for i in range(w) if (i % k) in revealed_locking
+    }
+    return ReplicationLeakResult(
+        leaked_working_bits=len(set(leaked_bits)),
+        revealed_locking_bits=len(revealed_locking),
+        revealed_working_bits=len(revealed_working),
+        fanout=manager.fanout,
+    )

@@ -1,0 +1,51 @@
+"""Control-branch masking (paper §3.3.3, Fig. 3).
+
+Each conditional transition in the controller gets one working-key bit
+K_j.  The next-state logic tests ``test XOR K_j == 1`` (Eq. 4); when
+the correct value of K_j is 1, the true/false target states are
+swapped at design time so the overall behaviour is unchanged under the
+correct key.  An attacker reading the netlist sees two perfectly
+symmetric candidate control flows and cannot tell which block is the
+taken branch without the key bit.
+"""
+
+from __future__ import annotations
+
+from repro.hls.design import FsmdDesign
+from repro.tao.key import KeyApportionment
+
+
+def mask_branches(
+    design: FsmdDesign,
+    apportionment: KeyApportionment,
+    working_key: int,
+) -> dict[int, int]:
+    """Mask every conditional transition with its assigned key bit.
+
+    Returns ``{branch instruction uid: key bit index}`` for the design's
+    metadata.  Mutates the controller transitions in place.
+    """
+    masked: dict[int, int] = {}
+    for block_name, block_schedule in design.schedule.blocks.items():
+        term = block_schedule.block.terminator
+        if term is None or term.uid not in apportionment.branch_bit_of:
+            continue
+        key_bit = apportionment.branch_bit_of[term.uid]
+        key_bit_value = (working_key >> key_bit) & 1
+        # The branch transition lives in the block's final state.
+        from repro.hls.controller import StateId
+
+        state = StateId(block_name, block_schedule.n_steps - 1)
+        transition = design.controller.transitions[state]
+        if transition.condition is None:  # pragma: no cover - defensive
+            raise ValueError(f"state {state} has no conditional transition")
+        transition.key_bit = key_bit
+        if key_bit_value == 1:
+            # XOR inverts the test; swap targets to compensate (Fig. 3).
+            transition.true_state, transition.false_state = (
+                transition.false_state,
+                transition.true_state,
+            )
+            transition.swapped = True
+        masked[term.uid] = key_bit
+    return masked

@@ -1,0 +1,63 @@
+"""Constant extraction and obfuscation (paper §3.3.2, Eq. 2-3).
+
+Every extractable constant occurrence :math:`V^p_i` is removed from the
+IR and replaced by an :class:`ObfuscatedConstant` holding the C-bit
+encrypted pattern
+
+    V^e_i = V^p_i  XOR  K_i                               (Eq. 2)
+
+where K_i is the C-bit working-key slice dedicated to this occurrence.
+The datapath recovers the plaintext at run time (Eq. 3), so with the
+correct key behaviour is unchanged, while the netlist contains neither
+the plaintext value nor its true bit-width: all constants are stored in
+the same pre-defined width C, which also blocks bit-width-driven logic
+optimizations downstream.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.values import Constant, ObfuscatedConstant
+from repro.tao.key import KeyApportionment
+
+
+def obfuscate_constants(
+    func: Function,
+    apportionment: KeyApportionment,
+    working_key: int,
+) -> list[ObfuscatedConstant]:
+    """Replace extractable constants with key-decoded equivalents.
+
+    ``working_key`` supplies the correct slices K_i (the design is built
+    so that exactly this key reproduces the original values).  Returns
+    the created :class:`ObfuscatedConstant` values in slot order.
+    """
+    width = apportionment.params.constant_width
+    created: list[ObfuscatedConstant] = []
+    instructions = {inst.uid: inst for inst in func.instructions()}
+    for index, (block_name, inst_uid, position) in enumerate(
+        apportionment.constant_slots
+    ):
+        inst = instructions.get(inst_uid)
+        if inst is None:  # pragma: no cover - defensive
+            raise ValueError(f"constant slot references missing instruction {inst_uid}")
+        operand = inst.operands[position]
+        if not isinstance(operand, Constant):  # pragma: no cover - defensive
+            raise ValueError(f"slot {index} operand is not a constant: {operand}")
+        offset = apportionment.constant_offset_of[index]
+        key_slice = (working_key >> offset) & ((1 << width) - 1)
+        stored = ObfuscatedConstant.encode(operand.value, key_slice, width)
+        obfuscated = ObfuscatedConstant(
+            stored_value=stored,
+            key_offset=offset,
+            storage_width=width,
+            original=operand,
+        )
+        if obfuscated.decode(working_key) != operand.value:  # pragma: no cover
+            raise AssertionError(
+                f"lossy constant encode: {operand.value} -> "
+                f"{obfuscated.decode(working_key)}"
+            )
+        inst.operands[position] = obfuscated
+        created.append(obfuscated)
+    return created

@@ -1,0 +1,191 @@
+"""The end-to-end TAO flow (paper Fig. 2): C source in, obfuscated
+FSMD design + key material out.
+
+Pipeline:
+
+1. front-end: parse / analyze / lower the C subset, run the compiler
+   optimization pipeline and inline the call hierarchy (§3.3.1);
+2. key apportionment: Eq. 1 decides W and lays out the working key;
+3. locking key: the designer's 256-bit secret; the key-management
+   scheme (replication or AES, §3.4) fixes the correct working key;
+4. front-end obfuscation: constant extraction (§3.3.2);
+5. mid-level HLS: scheduling, binding, controller synthesis;
+6. mid-level obfuscation: branch masking (§3.3.3) and DFG variants
+   (§3.3.4);
+7. back-end: the FsmdDesign is ready for Verilog emission, area/timing
+   estimation and key-aware simulation.
+
+``synthesize_pair`` additionally builds the unobfuscated baseline from
+the same source for overhead comparisons (Figure 6 normalizes against
+it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.frontend.lowering import compile_c
+from repro.hls.design import FsmdDesign, KeyConfiguration
+from repro.hls.engine import synthesize_function
+from repro.hls.resources import ResourceConstraints
+from repro.ir.function import Module
+from repro.opt.pass_manager import optimize_module
+from repro.tao.branch_pass import mask_branches
+from repro.tao.constants_pass import obfuscate_constants
+from repro.tao.dfg_variants import obfuscate_dfgs
+from repro.tao.key import (
+    KeyApportionment,
+    LockingKey,
+    ObfuscationParameters,
+    apportion_keys,
+)
+from repro.tao.keymgmt import (
+    AesKeyManager,
+    ReplicationKeyManager,
+    choose_working_key,
+)
+
+KeyManager = Union[ReplicationKeyManager, AesKeyManager]
+
+
+@dataclass
+class ObfuscatedComponent:
+    """The complete output of the TAO flow for one top function."""
+
+    design: FsmdDesign
+    apportionment: KeyApportionment
+    locking_key: LockingKey
+    key_manager: KeyManager
+    correct_working_key: int
+    params: ObfuscationParameters
+
+    def working_key_for(self, locking_key: LockingKey) -> int:
+        """Working key the chip derives from a delivered locking key."""
+        return self.key_manager.derive_working_key(locking_key)
+
+    @property
+    def working_key_bits(self) -> int:
+        return self.apportionment.working_key_bits
+
+
+class TaoFlow:
+    """TAO-enhanced HLS flow driver."""
+
+    def __init__(
+        self,
+        params: Optional[ObfuscationParameters] = None,
+        constraints: Optional[ResourceConstraints] = None,
+        key_scheme: str = "replication",
+    ) -> None:
+        self.params = params or ObfuscationParameters()
+        self.constraints = constraints
+        self.key_scheme = key_scheme
+
+    # ------------------------------------------------------------------
+    def compile_front_end(self, source: str, name: str = "design") -> Module:
+        """Front end + compiler steps: source to optimized, inlined IR."""
+        module = compile_c(source, name)
+        optimize_module(module, inline=True)
+        return module
+
+    def analyze(self, module: Module, top: str) -> KeyApportionment:
+        """Key apportionment on the optimized top function (Eq. 1)."""
+        return apportion_keys(module.function(top), self.params)
+
+    # ------------------------------------------------------------------
+    def obfuscate(
+        self,
+        source: str,
+        top: str,
+        locking_key: Optional[LockingKey] = None,
+        name: str = "design",
+    ) -> ObfuscatedComponent:
+        """Run the full TAO flow on C source."""
+        rng = random.Random(self.params.seed)
+        if locking_key is None:
+            locking_key = LockingKey.random(rng, self.params.locking_key_bits)
+
+        module = self.compile_front_end(source, name)
+        func = module.function(top)
+        apportionment = self.analyze(module, top)
+
+        key_manager, working_key = choose_working_key(
+            apportionment.working_key_bits,
+            locking_key,
+            scheme=self.key_scheme,
+            rng=rng,
+        )
+
+        # Front-end obfuscation: constants (before scheduling, §3.2.1).
+        obfuscated_constants = []
+        if self.params.obfuscate_constants:
+            obfuscated_constants = obfuscate_constants(
+                func, apportionment, working_key
+            )
+
+        # Mid-level: schedule/bind/controller, then obfuscate.
+        design = synthesize_function(module, top, self.constraints)
+        if self.params.obfuscate_branches:
+            design.masked_branches = mask_branches(design, apportionment, working_key)
+        if self.params.obfuscate_dfg:
+            obfuscate_dfgs(
+                design,
+                apportionment,
+                working_key,
+                self.params.seed,
+                diversity=self.params.variant_diversity,
+            )
+
+        if self.params.obfuscate_roms and apportionment.rom_slice_of:
+            from repro.tao.rom_pass import obfuscate_roms
+
+            obfuscate_roms(design, apportionment.rom_slice_of, working_key)
+
+        design.obfuscated_constants = obfuscated_constants
+        design.key_config = KeyConfiguration(
+            working_key_bits=apportionment.working_key_bits,
+            correct_working_key=working_key,
+            constant_slices=[
+                (apportionment.constant_offset_of[i], self.params.constant_width)
+                for i in range(apportionment.num_constants)
+            ],
+            branch_bits=dict(apportionment.branch_bit_of),
+            block_slices=dict(apportionment.block_slice_of),
+            locking_key_bits=locking_key.width,
+        )
+        return ObfuscatedComponent(
+            design=design,
+            apportionment=apportionment,
+            locking_key=locking_key,
+            key_manager=key_manager,
+            correct_working_key=working_key,
+            params=self.params,
+        )
+
+    # ------------------------------------------------------------------
+    def synthesize_baseline(
+        self, source: str, top: str, name: str = "baseline"
+    ) -> FsmdDesign:
+        """Unobfuscated reference design from the same source."""
+        module = self.compile_front_end(source, name)
+        return synthesize_function(module, top, self.constraints)
+
+    def synthesize_pair(
+        self, source: str, top: str, locking_key: Optional[LockingKey] = None
+    ) -> tuple[FsmdDesign, ObfuscatedComponent]:
+        """Baseline + obfuscated designs for overhead comparisons."""
+        baseline = self.synthesize_baseline(source, top)
+        component = self.obfuscate(source, top, locking_key)
+        return baseline, component
+
+
+def obfuscate_source(
+    source: str,
+    top: str,
+    params: Optional[ObfuscationParameters] = None,
+    key_scheme: str = "replication",
+) -> ObfuscatedComponent:
+    """One-call convenience API over :class:`TaoFlow`."""
+    return TaoFlow(params=params, key_scheme=key_scheme).obfuscate(source, top)

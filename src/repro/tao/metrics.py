@@ -1,0 +1,162 @@
+"""Security-validation metrics (paper §4.3).
+
+The paper validates each obfuscated circuit with 100 random 256-bit
+locking keys: the correct key must reproduce the golden outputs, every
+other key must corrupt them, and "output corruptibility" is measured
+as the Hamming distance of the wrong-key outputs from the baseline
+outputs (62.2 % average over the five benchmarks).  This module runs
+that campaign on our designs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.sim.testbench import (
+    Testbench,
+    hamming_distance_fraction,
+    run_testbench,
+)
+from repro.tao.flow import ObfuscatedComponent
+from repro.tao.key import LockingKey
+
+
+@dataclass
+class KeyTrialResult:
+    """Outcome of simulating one locking key."""
+
+    locking_key: LockingKey
+    is_correct_key: bool
+    output_matches: bool
+    hamming_fraction: float
+    cycles: int
+    completed: bool
+
+
+@dataclass
+class ValidationReport:
+    """Aggregate of a key-validation campaign on one component."""
+
+    component_name: str
+    n_keys: int
+    correct_key_ok: bool
+    wrong_keys_all_corrupt: bool
+    average_hamming: float
+    min_hamming: float
+    max_hamming: float
+    baseline_cycles: int
+    latency_changed_keys: int
+    trials: list[KeyTrialResult] = field(default_factory=list)
+
+
+def validate_component(
+    component: ObfuscatedComponent,
+    benches: Sequence[Testbench],
+    n_keys: int = 100,
+    seed: int = 7,
+    max_cycles: int | None = None,
+) -> ValidationReport:
+    """Run the §4.3 campaign: one correct key + ``n_keys - 1`` wrong keys.
+
+    A key "corrupts" when at least one workload's outputs differ from
+    the golden outputs.  Hamming fractions are averaged over workloads
+    and wrong keys.  Wrong-key simulations are capped at 8x the
+    correct-key latency (corrupted loop bounds can otherwise spin for
+    the full 2^32 range); a timed-out run counts as corrupted with its
+    produced outputs.
+    """
+    rng = random.Random(seed)
+    design = component.design
+    correct = component.locking_key
+
+    keys = [correct]
+    while len(keys) < n_keys:
+        candidate = LockingKey.random(rng, correct.width)
+        if candidate.bits != correct.bits:
+            keys.append(candidate)
+
+    baseline_cycles = 0
+    trials: list[KeyTrialResult] = []
+    wrong_hammings: list[float] = []
+    latency_changed = 0
+
+    for key in keys:
+        working = component.working_key_for(key)
+        matches_all = True
+        completed_all = True
+        hamming_sum = 0.0
+        cycles = 0
+        if max_cycles is not None:
+            cycle_cap = max_cycles
+        elif baseline_cycles:
+            cycle_cap = max(8 * baseline_cycles, 4000)
+        else:
+            cycle_cap = 2_000_000
+        for bench in benches:
+            outcome = run_testbench(
+                design, bench, working_key=working, max_cycles=cycle_cap
+            )
+            matches_all &= outcome.matches
+            completed_all &= outcome.simulated.completed
+            hamming_sum += hamming_distance_fraction(
+                outcome.golden_bits, outcome.simulated_bits
+            )
+            cycles = max(cycles, outcome.cycles)
+        hamming = hamming_sum / max(1, len(benches))
+        is_correct = key.bits == correct.bits
+        if is_correct:
+            baseline_cycles = cycles
+        else:
+            wrong_hammings.append(hamming)
+        trials.append(
+            KeyTrialResult(
+                locking_key=key,
+                is_correct_key=is_correct,
+                output_matches=matches_all,
+                hamming_fraction=hamming,
+                cycles=cycles,
+                completed=completed_all,
+            )
+        )
+
+    for trial in trials:
+        if not trial.is_correct_key and trial.cycles != baseline_cycles:
+            latency_changed += 1
+
+    correct_trial = trials[0]
+    wrong_trials = trials[1:]
+    return ValidationReport(
+        component_name=design.name,
+        n_keys=n_keys,
+        correct_key_ok=correct_trial.output_matches,
+        wrong_keys_all_corrupt=all(not t.output_matches for t in wrong_trials),
+        average_hamming=(
+            sum(wrong_hammings) / len(wrong_hammings) if wrong_hammings else 0.0
+        ),
+        min_hamming=min(wrong_hammings, default=0.0),
+        max_hamming=max(wrong_hammings, default=0.0),
+        baseline_cycles=baseline_cycles,
+        latency_changed_keys=latency_changed,
+        trials=trials,
+    )
+
+
+def output_corruptibility(
+    component: ObfuscatedComponent,
+    bench: Testbench,
+    wrong_keys: Sequence[LockingKey],
+    max_cycles: int = 400_000,
+) -> float:
+    """Average output Hamming fraction over the given wrong keys."""
+    total = 0.0
+    for key in wrong_keys:
+        working = component.working_key_for(key)
+        outcome = run_testbench(
+            component.design, bench, working_key=working, max_cycles=max_cycles
+        )
+        total += hamming_distance_fraction(
+            outcome.golden_bits, outcome.simulated_bits
+        )
+    return total / max(1, len(wrong_keys))

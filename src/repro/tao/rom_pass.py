@@ -1,0 +1,97 @@
+"""ROM-content obfuscation (repository extension, beyond the paper).
+
+The paper's constant pass (§3.3.2) covers scalar literals; constants
+kept in on-chip ROMs (filter coefficient tables, quantizer step
+tables) remain readable in the fabricated bit image.  This extension
+closes that gap: each read-only memory's image is stored XOR-encrypted
+with a dedicated working-key slice, and a key-width XOR bank on the
+read port decrypts elements on the fly.
+
+Hardware cost: one XOR bank per ROM (element width) plus C key bits
+per ROM in the working key — the same shape as a scalar constant.
+Limitation (documented): all elements of one ROM share a mask slice,
+so XOR differences between elements survive in the image; an attacker
+learns element deltas but not values.  A per-element keystream (e.g.
+AES-CTR over the address) would remove that leak at higher cost.
+
+Enabled with ``ObfuscationParameters(obfuscate_roms=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hls.design import FsmdDesign
+from repro.ir.function import Function
+from repro.ir.instructions import Opcode
+from repro.ir.types import IntType
+
+
+@dataclass
+class RomObfuscation:
+    """Key binding and encrypted image of one obfuscated ROM."""
+
+    array_name: str
+    key_offset: int
+    key_width: int
+    encrypted_image: list[int] = field(default_factory=list)
+
+    def mask_for(self, element_type: IntType, working_key: int) -> int:
+        """The element-width mask derived from this ROM's key slice."""
+        key_slice = (working_key >> self.key_offset) & ((1 << self.key_width) - 1)
+        return key_slice & ((1 << element_type.width) - 1)
+
+    def decode(self, raw: int, element_type: IntType, working_key: int) -> int:
+        """Decrypt one stored element under ``working_key``."""
+        bits = raw & ((1 << element_type.width) - 1)
+        value = bits ^ self.mask_for(element_type, working_key)
+        return element_type.wrap(value)
+
+
+def eligible_roms(func: Function) -> list[str]:
+    """Local arrays with initializers that are never written: true ROMs."""
+    written = {
+        inst.array.name
+        for inst in func.instructions()
+        if inst.opcode is Opcode.STORE and inst.array is not None
+    }
+    return [
+        array.name
+        for array in func.arrays.values()
+        if not array.is_param
+        and array.initializer is not None
+        and array.name not in written
+    ]
+
+
+def obfuscate_roms(
+    design: FsmdDesign,
+    rom_slices: dict[str, tuple[int, int]],
+    working_key: int,
+) -> dict[str, RomObfuscation]:
+    """Encrypt each apportioned ROM's image against the working key.
+
+    The IR's ``initializer`` is left untouched (it is the golden,
+    design-time plaintext); the encrypted image lives in the design
+    metadata and is what the RTL emitter and FSMD simulator use.
+    """
+    created: dict[str, RomObfuscation] = {}
+    for array_name, (offset, width) in rom_slices.items():
+        array = design.func.arrays[array_name]
+        assert array.initializer is not None
+        rom = RomObfuscation(
+            array_name=array_name, key_offset=offset, key_width=width
+        )
+        mask = rom.mask_for(array.element_type, working_key)
+        element_mask = (1 << array.element_type.width) - 1
+        rom.encrypted_image = [
+            ((value & element_mask) ^ mask) for value in array.initializer
+        ]
+        # Lossless under the correct key, by construction.
+        for raw, original in zip(rom.encrypted_image, array.initializer):
+            decoded = rom.decode(raw, array.element_type, working_key)
+            if decoded != array.element_type.wrap(original):  # pragma: no cover
+                raise AssertionError(f"lossy ROM encode for {array_name}")
+        created[array_name] = rom
+    design.obfuscated_roms.update(created)
+    return created

@@ -1,0 +1,114 @@
+"""AES tests: FIPS-197 known-answer vectors plus property checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.aes import AES, INV_SBOX, SBOX
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+KEY128 = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+KEY192 = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+KEY256 = bytes.fromhex(
+    "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+)
+
+
+class TestKnownAnswers:
+    """FIPS-197 Appendix C example vectors."""
+
+    def test_aes128(self):
+        assert (
+            AES(KEY128).encrypt_block(PLAINTEXT).hex()
+            == "69c4e0d86a7b0430d8cdb78070b4c55a"
+        )
+
+    def test_aes192(self):
+        assert (
+            AES(KEY192).encrypt_block(PLAINTEXT).hex()
+            == "dda97ca4864cdfe06eaf70a0ec0d7191"
+        )
+
+    def test_aes256(self):
+        assert (
+            AES(KEY256).encrypt_block(PLAINTEXT).hex()
+            == "8ea2b7ca516745bfeafc49904b496089"
+        )
+
+    def test_aes128_appendix_b(self):
+        # FIPS-197 Appendix B example.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        assert AES(key).encrypt_block(pt).hex() == "3925841d02dc09fbdc118597196a0b32"
+
+
+class TestSbox:
+    def test_sbox_values(self):
+        # Canonical corner entries of the AES S-box.
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_sbox(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+
+class TestBlockOps:
+    def test_decrypt_inverts_encrypt(self):
+        cipher = AES(KEY256)
+        assert cipher.decrypt_block(cipher.encrypt_block(PLAINTEXT)) == PLAINTEXT
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES(b"short")
+
+    def test_bad_block_length(self):
+        with pytest.raises(ValueError):
+            AES(KEY128).encrypt_block(b"tiny")
+
+    def test_ecb_multiblock_roundtrip(self):
+        cipher = AES(KEY128)
+        data = bytes(range(48))
+        assert cipher.decrypt_ecb(cipher.encrypt_ecb(data)) == data
+
+    def test_ecb_rejects_partial_block(self):
+        with pytest.raises(ValueError):
+            AES(KEY128).encrypt_ecb(b"123")
+
+
+class TestCtrMode:
+    def test_ctr_roundtrip_any_length(self):
+        cipher = AES(KEY256)
+        data = b"working-key bits!"  # 17 bytes, not block aligned
+        assert cipher.encrypt_ctr(cipher.encrypt_ctr(data)) == data
+
+    def test_ctr_nonce_changes_stream(self):
+        cipher = AES(KEY256)
+        data = bytes(16)
+        assert cipher.encrypt_ctr(data, nonce=0) != cipher.encrypt_ctr(data, nonce=1)
+
+    def test_keystream_length(self):
+        assert len(AES(KEY128).ctr_keystream(0, 33)) == 33
+
+    def test_different_keys_different_streams(self):
+        other = bytes([KEY256[0] ^ 1]) + KEY256[1:]
+        assert AES(KEY256).ctr_keystream(0, 32) != AES(other).ctr_keystream(0, 32)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=32, max_size=32))
+def test_property_encrypt_decrypt_roundtrip(block, key):
+    cipher = AES(key)
+    assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+def test_property_encryption_is_injective(block_a, block_b):
+    cipher = AES(KEY128)
+    if block_a != block_b:
+        assert cipher.encrypt_block(block_a) != cipher.encrypt_block(block_b)

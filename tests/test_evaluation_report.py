@@ -1,0 +1,38 @@
+"""Tests for the combined-report generator.
+
+The full report runs every experiment (slow); these tests exercise the
+rendering path with the smallest valid configuration and check the
+document structure.
+"""
+
+import pytest
+
+from repro.evaluation.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(n_validation_keys=3)
+
+
+class TestReport:
+    def test_has_all_sections(self, report_text):
+        for section in ("T1", "F6", "P1", "P2", "K1", "V1/V2"):
+            assert f"## {section}" in report_text
+
+    def test_mentions_all_benchmarks(self, report_text):
+        for name in ("gsm", "adpcm", "sobel", "backprop", "viterbi"):
+            assert name in report_text
+
+    def test_paper_reference_values_present(self, report_text):
+        assert "62.2%" in report_text  # paper's corruptibility average
+        assert "| 4145" in report_text  # paper's viterbi W
+
+    def test_latency_rows_zero_overhead(self, report_text):
+        assert report_text.count("+0.00%") == 5
+
+    def test_write_report(self, tmp_path, report_text):
+        path = write_report(tmp_path / "report.md", n_validation_keys=3)
+        assert path.exists()
+        text = path.read_text()
+        assert text.startswith("# TAO reproduction")

@@ -1,0 +1,117 @@
+"""Unit tests for the C-subset lexer."""
+
+import pytest
+
+from repro.frontend.lexer import (
+    LexerError,
+    TokenKind,
+    count_code_lines,
+    tokenize,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier_and_number(self):
+        assert texts("abc 123") == ["abc", "123"]
+
+    def test_keywords_classified(self):
+        tokens = tokenize("int x")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+
+    def test_hex_numbers(self):
+        assert texts("0xFF 0x10") == ["0xFF", "0x10"]
+
+    def test_number_suffixes_swallowed(self):
+        assert texts("10u 20UL 5L") == ["10", "20", "5"]
+
+    def test_maximal_munch_operators(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a<=b") == ["a", "<=", "b"]
+
+    def test_positions(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError, match="unexpected"):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment_stripped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_stripped(self):
+        assert texts("a /* comment */ b") == ["a", "b"]
+
+    def test_block_comment_preserves_lines(self):
+        tokens = tokenize("a /* x\ny */ b")
+        assert tokens[1].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never closed")
+
+
+class TestCharLiterals:
+    def test_plain_char(self):
+        tokens = tokenize("'A'")
+        assert tokens[0].kind is TokenKind.CHARLIT
+        assert tokens[0].text == str(ord("A"))
+
+    def test_escaped_char(self):
+        tokens = tokenize(r"'\n'")
+        assert tokens[0].text == str(ord("\n"))
+
+    def test_bad_escape(self):
+        with pytest.raises(LexerError):
+            tokenize(r"'\q'")
+
+    def test_unterminated(self):
+        with pytest.raises(LexerError):
+            tokenize("'A")
+
+
+class TestDefines:
+    def test_object_macro_expanded(self):
+        assert "8" in texts("#define N 8\nint a = N;")
+
+    def test_macro_in_macro(self):
+        toks = texts("#define A 2\n#define B A\nint x = B;")
+        assert "2" in toks
+
+    def test_expansion_parenthesized(self):
+        toks = texts("#define N 1+2\nint x = N * 3;")
+        # (1+2) * 3 — parentheses preserve precedence
+        assert toks.count("(") >= 1
+
+    def test_include_skipped(self):
+        assert texts('#include "foo.h"\nint a;') == ["int", "a", ";"]
+
+    def test_word_boundary_respected(self):
+        toks = texts("#define N 8\nint NN = 3;")
+        assert "NN" in toks
+
+
+class TestCountCodeLines:
+    def test_counts_nonblank(self):
+        assert count_code_lines("a\n\nb\n") == 2
+
+    def test_ignores_comment_only_lines(self):
+        assert count_code_lines("a\n// comment\nb") == 2

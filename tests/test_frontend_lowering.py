@@ -1,0 +1,203 @@
+"""Lowering tests: compile C-subset programs and check their golden
+interpretation against Python-computed expectations (C semantics)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_c
+from repro.ir.verifier import verify_module
+from repro.sim.interpreter import run_function
+
+
+def run(source, func, args=(), arrays=None):
+    module = compile_c(source)
+    return run_function(module, func, args, arrays)
+
+
+class TestArithmetic:
+    def test_basic_expression(self):
+        result = run("int f(int x) { return x * 3 + 2; }", "f", [5])
+        assert result.return_value == 17
+
+    def test_division_truncates_toward_zero(self):
+        source = "int f(int a, int b) { return a / b; }"
+        assert run(source, "f", [7, 2]).return_value == 3
+        assert run(source, "f", [-7, 2]).return_value == -3
+        assert run(source, "f", [7, -2]).return_value == -3
+
+    def test_remainder_sign_follows_dividend(self):
+        source = "int f(int a, int b) { return a % b; }"
+        assert run(source, "f", [7, 3]).return_value == 1
+        assert run(source, "f", [-7, 3]).return_value == -1
+
+    def test_division_by_zero_is_zero(self):
+        assert run("int f(int a) { return a / 0; }", "f", [5]).return_value == 0
+        assert run("int f(int a) { return a % 0; }", "f", [5]).return_value == 0
+
+    def test_shifts(self):
+        assert run("int f(int x) { return x << 3; }", "f", [1]).return_value == 8
+        assert run("int f(int x) { return x >> 2; }", "f", [-8]).return_value == -2
+
+    def test_bitwise(self):
+        source = "int f(int a, int b) { return (a & b) | (a ^ b); }"
+        assert run(source, "f", [0b1100, 0b1010]).return_value == 0b1110
+
+    def test_overflow_wraps_32bit(self):
+        result = run("int f(int x) { return x * x; }", "f", [0x10000])
+        assert result.return_value == 0  # 2^32 wraps to 0
+
+    def test_unary(self):
+        assert run("int f(int x) { return -x; }", "f", [7]).return_value == -7
+        assert run("int f(int x) { return ~x; }", "f", [0]).return_value == -1
+        assert run("int f(int x) { return !x; }", "f", [0]).return_value == 1
+
+    def test_comparisons(self):
+        source = "int f(int a, int b) { return (a < b) + (a <= b) * 10 + (a == b) * 100; }"
+        assert run(source, "f", [1, 2]).return_value == 11
+        assert run(source, "f", [2, 2]).return_value == 110
+
+    def test_char_narrowing(self):
+        result = run("int f() { char c = 200; return c; }", "f")
+        assert result.return_value == 200 - 256
+
+    def test_cast(self):
+        result = run("int f(int x) { return (char)x; }", "f", [300])
+        assert result.return_value == 300 - 256
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = "int f(int x) { if (x > 0) return 1; else return -1; }"
+        assert run(source, "f", [5]).return_value == 1
+        assert run(source, "f", [-5]).return_value == -1
+
+    def test_for_loop_sum(self):
+        source = "int f(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }"
+        assert run(source, "f", [10]).return_value == 55
+
+    def test_while_loop(self):
+        source = "int f(int n) { int c = 0; while (n > 1) { if (n % 2) n = 3 * n + 1; else n /= 2; c++; } return c; }"
+        assert run(source, "f", [6]).return_value == 8  # collatz(6)
+
+    def test_do_while_runs_once(self):
+        source = "int f() { int c = 0; do { c++; } while (0); return c; }"
+        assert run(source, "f").return_value == 1
+
+    def test_break(self):
+        source = "int f() { int i; for (i = 0; i < 100; i++) { if (i == 7) break; } return i; }"
+        assert run(source, "f").return_value == 7
+
+    def test_continue(self):
+        source = "int f() { int s = 0; for (int i = 0; i < 10; i++) { if (i % 2) continue; s += i; } return s; }"
+        assert run(source, "f").return_value == 20
+
+    def test_nested_loops(self):
+        source = """
+        int f(int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++)
+            for (int j = 0; j <= i; j++)
+              s += 1;
+          return s;
+        }
+        """
+        assert run(source, "f", [4]).return_value == 10
+
+    def test_ternary(self):
+        source = "int f(int a, int b) { return a > b ? a : b; }"
+        assert run(source, "f", [3, 9]).return_value == 9
+
+    def test_short_circuit_value_semantics(self):
+        source = "int f(int a, int b) { return (a && b) + (a || b) * 10; }"
+        assert run(source, "f", [2, 0]).return_value == 10
+        assert run(source, "f", [2, 3]).return_value == 11
+
+    def test_early_return_makes_tail_unreachable(self):
+        source = "int f() { return 1; }"
+        module = compile_c(source)
+        verify_module(module)
+
+
+class TestArraysAndCalls:
+    def test_array_readwrite(self):
+        source = """
+        int f(int data[4], int out[4]) {
+          for (int i = 0; i < 4; i++) out[i] = data[3 - i];
+          return out[0];
+        }
+        """
+        result = run(source, "f", [], {"data": [10, 20, 30, 40]})
+        assert result.arrays["out"] == [40, 30, 20, 10]
+        assert result.return_value == 40
+
+    def test_local_array_initializer(self):
+        source = """
+        int f(int i) {
+          int rom[4] = {5, 6, 7, 8};
+          return rom[i];
+        }
+        """
+        assert run(source, "f", [2]).return_value == 7
+
+    def test_global_const_array(self):
+        source = """
+        const int table[3] = {11, 22, 33};
+        int f(int i) { return table[i]; }
+        """
+        assert run(source, "f", [1]).return_value == 22
+
+    def test_call_with_scalar(self):
+        source = "int sq(int x) { return x * x; } int f(int x) { return sq(x) + sq(x + 1); }"
+        assert run(source, "f", [3]).return_value == 25
+
+    def test_call_with_array_binding(self):
+        source = """
+        int total(int a[4]) { int s = 0; for (int i = 0; i < 4; i++) s += a[i]; return s; }
+        int f(int data[4]) { return total(data) * 2; }
+        """
+        assert run(source, "f", [], {"data": [1, 2, 3, 4]}).return_value == 20
+
+    def test_callee_writes_caller_array(self):
+        source = """
+        void fill(int a[4], int v) { for (int i = 0; i < 4; i++) a[i] = v; }
+        int f(int data[4]) { fill(data, 9); return data[3]; }
+        """
+        result = run(source, "f", [], {"data": [0, 0, 0, 0]})
+        assert result.return_value == 9
+        assert result.arrays["data"] == [9, 9, 9, 9]
+
+    def test_shadowed_variable_in_loop(self):
+        source = """
+        int f() {
+          int x = 1;
+          for (int i = 0; i < 3; i++) { int x = 10; x += i; }
+          return x;
+        }
+        """
+        assert run(source, "f").return_value == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000),
+)
+def test_property_polynomial_matches_python(a, b, c):
+    """Property: compiled arithmetic equals Python's over small ints."""
+    source = "int f(int a, int b, int c) { return a * b + b * c - a * c + (a - b); }"
+    expected = a * b + b * c - a * c + (a - b)
+    assert run(source, "f", [a, b, c]).return_value == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=-100, max_value=100), min_size=8, max_size=8))
+def test_property_array_sum_matches_python(values):
+    source = """
+    int f(int a[8]) {
+      int s = 0;
+      for (int i = 0; i < 8; i++) s += a[i];
+      return s;
+    }
+    """
+    assert run(source, "f", [], {"a": values}).return_value == sum(values)

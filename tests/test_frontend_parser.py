@@ -1,0 +1,205 @@
+"""Unit tests for the recursive-descent parser."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import ParseError, parse
+
+
+def parse_expr(text):
+    """Parse an expression by wrapping it in a return statement."""
+    program = parse(f"int f() {{ return {text}; }}")
+    stmt = program.functions[0].body[0]
+    assert isinstance(stmt, ast.ReturnStmt)
+    return stmt.value
+
+
+def parse_stmts(body):
+    program = parse(f"void f() {{ {body} }}")
+    return program.functions[0].body
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.rhs, ast.BinaryExpr) and expr.rhs.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.lhs, ast.BinaryExpr) and expr.lhs.op == "+"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.lhs, ast.BinaryExpr)
+        assert expr.rhs.value == 3
+
+    def test_shift_below_relational(self):
+        expr = parse_expr("1 << 2 < 3")
+        assert expr.op == "<"
+
+    def test_bitwise_precedence_chain(self):
+        expr = parse_expr("1 | 2 ^ 3 & 4")
+        assert expr.op == "|"
+        assert expr.rhs.op == "^"
+        assert expr.rhs.rhs.op == "&"
+
+    def test_logical_operators(self):
+        expr = parse_expr("1 && 2 || 3")
+        assert expr.op == "||"
+        assert expr.lhs.op == "&&"
+
+    def test_unary_operators(self):
+        expr = parse_expr("-x + !y + ~z")
+        assert isinstance(expr.lhs.lhs, ast.UnaryExpr)
+        assert expr.lhs.lhs.op == "-"
+
+    def test_unary_plus_dropped(self):
+        expr = parse_expr("+5")
+        assert isinstance(expr, ast.NumberLit)
+
+    def test_ternary(self):
+        expr = parse_expr("a ? 1 : 2")
+        assert isinstance(expr, ast.TernaryExpr)
+
+    def test_nested_ternary_right_associative(self):
+        expr = parse_expr("a ? 1 : b ? 2 : 3")
+        assert isinstance(expr.if_false, ast.TernaryExpr)
+
+    def test_cast(self):
+        expr = parse_expr("(char)300")
+        assert isinstance(expr, ast.CastExpr)
+        assert expr.target.width == 8
+
+    def test_call_with_args(self):
+        program = parse(
+            "int g(int a, int b) { return a; } int f() { return g(1, 2 + 3); }"
+        )
+        ret = program.functions[1].body[0]
+        assert isinstance(ret.value, ast.CallExpr)
+        assert len(ret.value.args) == 2
+
+    def test_array_reference(self):
+        program = parse("int f(int a[4]) { return a[2]; }")
+        ret = program.functions[0].body[0]
+        assert isinstance(ret.value, ast.ArrayRef)
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        stmts = parse_stmts("int x = 5;")
+        decl = stmts[0]
+        assert isinstance(decl, ast.DeclStmt)
+        assert decl.name == "x"
+        assert decl.init.value == 5
+
+    def test_array_declaration(self):
+        stmts = parse_stmts("int buf[8];")
+        assert stmts[0].array_size == 8
+
+    def test_array_initializer(self):
+        stmts = parse_stmts("int t[4] = {1, -2, 3};")
+        assert stmts[0].array_init == [1, -2, 3]
+
+    def test_const_array(self):
+        program = parse("const int rom[2] = {1, 2}; void f() { }")
+        assert program.globals[0].is_const
+
+    def test_compound_assignment_desugared(self):
+        stmts = parse_stmts("int x = 0; x += 5;")
+        assign = stmts[1]
+        assert isinstance(assign, ast.AssignStmt)
+        assert isinstance(assign.value, ast.BinaryExpr)
+        assert assign.value.op == "+"
+
+    def test_increment_desugared(self):
+        stmts = parse_stmts("int x = 0; x++;")
+        assert stmts[1].value.op == "+"
+        assert stmts[1].value.rhs.value == 1
+
+    def test_prefix_increment(self):
+        stmts = parse_stmts("int x = 0; ++x;")
+        assert stmts[1].value.op == "+"
+
+    def test_array_element_compound_assign(self):
+        program = parse("void f(int a[4]) { a[1] += 2; }")
+        assign = program.functions[0].body[0]
+        assert assign.index is not None
+        assert assign.value.op == "+"
+
+    def test_if_else_chain(self):
+        stmts = parse_stmts("if (1) { } else if (2) { } else { }")
+        outer = stmts[0]
+        assert isinstance(outer, ast.IfStmt)
+        assert isinstance(outer.else_body[0], ast.IfStmt)
+
+    def test_while(self):
+        stmts = parse_stmts("while (1) { break; }")
+        assert isinstance(stmts[0], ast.WhileStmt)
+        assert not stmts[0].is_do_while
+
+    def test_do_while(self):
+        stmts = parse_stmts("do { } while (0);")
+        assert stmts[0].is_do_while
+
+    def test_for_with_decl(self):
+        stmts = parse_stmts("for (int i = 0; i < 4; i++) { }")
+        loop = stmts[0]
+        assert isinstance(loop, ast.ForStmt)
+        assert isinstance(loop.init, ast.DeclStmt)
+
+    def test_for_headless(self):
+        stmts = parse_stmts("for (;;) { break; }")
+        loop = stmts[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_body_without_braces(self):
+        stmts = parse_stmts("if (1) return;")
+        assert isinstance(stmts[0].then_body[0], ast.ReturnStmt)
+
+
+class TestFunctions:
+    def test_void_param_list(self):
+        program = parse("int f(void) { return 0; }")
+        assert program.functions[0].params == []
+
+    def test_unsigned_types(self):
+        program = parse("unsigned int f(unsigned char c) { return c; }")
+        func = program.functions[0]
+        assert not func.return_type.signed
+        assert func.params[0].type.width == 8
+
+    def test_array_param_unsized(self):
+        program = parse("int f(int a[]) { return a[0]; }")
+        assert program.functions[0].params[0].array_size == 0
+
+    def test_source_lines_counted(self):
+        program = parse("int f() {\n return 0;\n}\n")
+        assert program.source_lines == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int f( { }",
+            "int f() { return 1 }",
+            "int f() { int [5]; }",
+            "int f() { if 1) {} }",
+            "int f() { x ===; }",
+            "void f() { int a[x]; }",
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void f() { void x; }")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError, match="end of file"):
+            parse("void f() { if (1) {")

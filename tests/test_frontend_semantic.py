@@ -1,0 +1,123 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from repro.frontend.parser import parse
+from repro.frontend.semantic import SemanticError, analyze
+
+
+def check(source):
+    analyze(parse(source))
+
+
+class TestValidPrograms:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int f(int x) { return x; }",
+            "int f() { int x = 1; { int y = x; return y; } return x; }",
+            "void f(int a[4]) { a[0] = 1; }",
+            "int g(int x) { return x; } int f() { return g(3); }",
+            "void f() { for (int i = 0; i < 4; i++) { if (i) continue; break; } }",
+            "int f(int a[4]) { int s = 0; while (s < 3) s += a[s]; return s; }",
+        ],
+    )
+    def test_accepted(self, source):
+        check(source)
+
+
+class TestScopeErrors:
+    def test_undeclared_use(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("int f() { return x; }")
+
+    def test_undeclared_assignment(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("void f() { x = 1; }")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(SemanticError, match="redeclaration"):
+            check("void f() { int x; int x; }")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check("void f() { int x; { int x; } }")
+
+    def test_inner_scope_not_visible_outside(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            check("int f() { { int y = 1; } return y; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError, match="duplicate"):
+            check("void f() { } void f() { }")
+
+
+class TestArrayErrors:
+    def test_scalar_indexed(self):
+        with pytest.raises(SemanticError, match="not an array"):
+            check("int f() { int x; return x[0]; }")
+
+    def test_array_without_index(self):
+        with pytest.raises(SemanticError, match="without index"):
+            check("int f(int a[4]) { return a; }")
+
+    def test_whole_array_assignment(self):
+        with pytest.raises(SemanticError, match="whole array"):
+            check("void f(int a[4]) { a = 1; }")
+
+    def test_too_many_initializers(self):
+        with pytest.raises(SemanticError, match="initializers"):
+            check("void f() { int a[2] = {1, 2, 3}; }")
+
+    def test_zero_size_array(self):
+        with pytest.raises(SemanticError, match="size"):
+            # parse accepts literal 0; semantics rejects it
+            check("void f() { int a[0]; }")
+
+
+class TestControlFlowErrors:
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            check("void f() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue"):
+            check("void f() { continue; }")
+
+    def test_break_in_if_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            check("void f() { if (1) break; }")
+
+
+class TestReturnErrors:
+    def test_missing_return_value(self):
+        with pytest.raises(SemanticError, match="must return"):
+            check("int f() { return; }")
+
+    def test_void_returning_value(self):
+        with pytest.raises(SemanticError, match="void"):
+            check("void f() { return 1; }")
+
+    def test_may_not_return(self):
+        with pytest.raises(SemanticError, match="may not return"):
+            check("int f(int x) { if (x) return 1; }")
+
+    def test_if_else_both_return_ok(self):
+        check("int f(int x) { if (x) return 1; else return 0; }")
+
+
+class TestCallErrors:
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError, match="unknown function"):
+            check("int f() { return g(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError, match="expects"):
+            check("int g(int a) { return a; } int f() { return g(1, 2); }")
+
+    def test_array_arg_must_be_array(self):
+        with pytest.raises(SemanticError, match="array"):
+            check("int g(int a[4]) { return a[0]; } int f() { int x; return g(x); }")
+
+    def test_array_arg_must_be_name(self):
+        with pytest.raises(SemanticError, match="name"):
+            check("int g(int a[4]) { return a[0]; } int f() { return g(1 + 2); }")

@@ -1,0 +1,205 @@
+"""Tests for switch-case support (desugared to if/else chains) and its
+interaction with TAO branch masking (§3.3.3's switch-case note)."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.frontend.parser import ParseError, parse
+from repro.sim import Testbench, run_testbench
+from repro.sim.interpreter import run_function
+from repro.tao import TaoFlow
+
+
+def run(source, func, args=()):
+    return run_function(compile_c(source), func, args).return_value
+
+
+class TestSwitchSemantics:
+    SOURCE = """
+    int classify(int x) {
+      int kind = 0;
+      switch (x) {
+        case 0:
+          kind = 10;
+          break;
+        case 1:
+        case 2:
+          kind = 20;
+          break;
+        case -5:
+          kind = 30;
+          break;
+        default:
+          kind = 99;
+          break;
+      }
+      return kind;
+    }
+    """
+
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(0, 10), (1, 20), (2, 20), (-5, 30), (7, 99), (-1, 99)],
+    )
+    def test_dispatch(self, x, expected):
+        assert run(self.SOURCE, "classify", [x]) == expected
+
+    def test_switch_without_default(self):
+        source = """
+        int f(int x) {
+          int r = -1;
+          switch (x) {
+            case 3: r = 33; break;
+            case 4: r = 44; break;
+          }
+          return r;
+        }
+        """
+        assert run(source, "f", [3]) == 33
+        assert run(source, "f", [9]) == -1
+
+    def test_case_with_return(self):
+        source = """
+        int f(int x) {
+          switch (x) {
+            case 1: return 100;
+            case 2: return 200;
+            default: return 0;
+          }
+        }
+        """
+        assert run(source, "f", [1]) == 100
+        assert run(source, "f", [2]) == 200
+        assert run(source, "f", [3]) == 0
+
+    def test_selector_evaluated_once(self):
+        # The selector expression has a side effect via an array write;
+        # it must execute exactly once.
+        source = """
+        int f(int log[1], int x) {
+          int hits = log[0];
+          log[0] = hits + 1;
+          switch (x * 2) {
+            case 4: return log[0];
+            default: return -log[0];
+          }
+        }
+        """
+        module = compile_c(source)
+        result = run_function(module, "f", [2], {"log": [0]})
+        assert result.return_value == 1
+        assert result.arrays["log"] == [1]
+
+    def test_empty_case_group_shares_body(self):
+        source = """
+        int f(int x) {
+          int r = 0;
+          switch (x) {
+            case 1:
+            case 2:
+            case 3:
+              r = 7;
+              break;
+          }
+          return r;
+        }
+        """
+        for x in (1, 2, 3):
+            assert run(source, "f", [x]) == 7
+        assert run(source, "f", [4]) == 0
+
+    def test_char_literal_case(self):
+        source = """
+        int f(int c) {
+          switch (c) {
+            case 'a': return 1;
+            case 'b': return 2;
+            default: return 0;
+          }
+        }
+        """
+        assert run(source, "f", [ord("a")]) == 1
+        assert run(source, "f", [ord("b")]) == 2
+
+
+class TestSwitchErrors:
+    def test_fall_through_rejected(self):
+        source = """
+        int f(int x) {
+          int r = 0;
+          switch (x) {
+            case 1: r = 1;
+            case 2: r = 2; break;
+          }
+          return r;
+        }
+        """
+        with pytest.raises(ParseError, match="fall-through"):
+            parse(source)
+
+    def test_non_literal_case_rejected(self):
+        source = """
+        int f(int x, int y) {
+          switch (x) { case y: return 1; }
+          return 0;
+        }
+        """
+        with pytest.raises(ParseError, match="literal"):
+            parse(source)
+
+    def test_stray_statement_before_case_rejected(self):
+        source = """
+        int f(int x) {
+          switch (x) { x = 1; case 1: return 1; }
+          return 0;
+        }
+        """
+        with pytest.raises(ParseError):
+            parse(source)
+
+
+class TestSwitchObfuscation:
+    SOURCE = """
+    int dispatch(int op, int a, int b) {
+      switch (op) {
+        case 0: return a + b;
+        case 1: return a - b;
+        case 2: return a * b;
+        case 3: return a & b;
+        default: return 0;
+      }
+    }
+    """
+
+    def test_each_case_gets_a_key_bit(self):
+        component = TaoFlow().obfuscate(self.SOURCE, "dispatch")
+        # 4 case tests -> at least 4 masked conditional branches.
+        assert component.apportionment.num_branches >= 4
+
+    def test_obfuscated_dispatch_correct_under_key(self):
+        component = TaoFlow().obfuscate(self.SOURCE, "dispatch")
+        for op, expected in [(0, 9), (1, 3), (2, 18), (3, 2)]:
+            outcome = run_testbench(
+                component.design,
+                Testbench(args=[op, 6, 3]),
+                working_key=component.correct_working_key,
+            )
+            assert outcome.matches
+            assert outcome.simulated.return_value == expected
+
+    def test_wrong_key_misroutes_dispatch(self):
+        component = TaoFlow().obfuscate(self.SOURCE, "dispatch")
+        # Flip the key bit of one case branch: dispatch must misroute
+        # for at least one opcode.
+        bit = sorted(component.apportionment.branch_bit_of.values())[0]
+        wrong = component.correct_working_key ^ (1 << bit)
+        mismatches = 0
+        for op in range(4):
+            outcome = run_testbench(
+                component.design,
+                Testbench(args=[op, 6, 3]),
+                working_key=wrong,
+                max_cycles=5000,
+            )
+            mismatches += not outcome.matches
+        assert mismatches >= 1

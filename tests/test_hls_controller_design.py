@@ -1,0 +1,143 @@
+"""Unit tests for controller synthesis and the FSMD design model."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.hls.controller import StateId, synthesize_controller
+from repro.hls.engine import HlsError, hls_flow, synthesize_function
+from repro.hls.scheduling import schedule_function
+from repro.opt import optimize_module
+
+
+def make_design(source, top=None, optimize=True):
+    module = compile_c(source)
+    if optimize:
+        optimize_module(module)
+    if top is None:
+        top = next(iter(module.functions))
+    return synthesize_function(module, top)
+
+
+BRANCHY = """
+int f(int a) {
+  int r;
+  if (a > 0) r = a * 2;
+  else r = -a;
+  return r + 1;
+}
+"""
+
+LOOPY = """
+int f(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s += i;
+  return s;
+}
+"""
+
+
+class TestController:
+    def test_states_cover_all_csteps(self):
+        module = compile_c(LOOPY)
+        func = module.function("f")
+        schedule = schedule_function(func)
+        controller = synthesize_controller(func, schedule)
+        expected = sum(s.n_steps for s in schedule.blocks.values())
+        assert controller.n_states == expected
+
+    def test_entry_state(self):
+        module = compile_c(LOOPY)
+        func = module.function("f")
+        schedule = schedule_function(func)
+        controller = synthesize_controller(func, schedule)
+        assert controller.entry_state == StateId(func.entry.name, 0)
+
+    def test_every_state_has_transition(self):
+        design = make_design(BRANCHY)
+        for state in design.controller.states:
+            assert state in design.controller.transitions
+
+    def test_conditional_transition_for_branch(self):
+        design = make_design(BRANCHY)
+        conditionals = design.controller.conditional_transitions()
+        assert len(conditionals) == len(design.func.conditional_branches())
+
+    def test_done_state_for_ret(self):
+        design = make_design("int f() { return 7; }")
+        done_states = [
+            s
+            for s, t in design.controller.transitions.items()
+            if t.is_done
+        ]
+        assert done_states
+
+    def test_resolve_next_unmasked(self):
+        design = make_design(BRANCHY)
+        state, transition = design.controller.conditional_transitions()[0]
+        taken = design.controller.resolve_next(state, 1)
+        not_taken = design.controller.resolve_next(state, 0)
+        assert taken == transition.true_state
+        assert not_taken == transition.false_state
+
+    def test_resolve_next_with_key_bit(self):
+        design = make_design(BRANCHY)
+        state, transition = design.controller.conditional_transitions()[0]
+        transition.key_bit = 0
+        # key bit value 1 inverts the observed test
+        assert design.controller.resolve_next(state, 1, 1) == transition.false_state
+        assert design.controller.resolve_next(state, 0, 1) == transition.true_state
+
+
+class TestEngine:
+    def test_design_summary_fields(self):
+        design = make_design(LOOPY)
+        summary = design.summary()
+        assert summary["states"] > 0
+        assert summary["registers"] > 0
+        assert summary["working_key_bits"] == 0
+        assert not design.is_obfuscated
+
+    def test_rejects_unlowered_calls(self):
+        module = compile_c(
+            "int g(int x) { return x; } int f(int a) { return g(a); }"
+        )
+        with pytest.raises(HlsError, match="call"):
+            synthesize_function(module, "f")
+
+    def test_hls_flow_inlines_automatically(self):
+        module = compile_c(
+            "int g(int x) { return x * 2; } int f(int a) { return g(a); }"
+        )
+        design = hls_flow(module, "f")
+        assert design.name == "f"
+
+    def test_unknown_function(self):
+        module = compile_c("int f() { return 0; }")
+        with pytest.raises(HlsError, match="ghost"):
+            synthesize_function(module, "ghost")
+
+
+class TestDesignQueries:
+    def test_fu_input_sources_nonempty(self):
+        design = make_design(BRANCHY)
+        sources = design.fu_input_sources()
+        assert sources
+        for (fu_name, port), ids in sources.items():
+            assert port in (0, 1)
+            assert ids
+
+    def test_register_input_sources(self):
+        design = make_design(LOOPY)
+        sources = design.register_input_sources()
+        assert sources
+
+    def test_memory_port_sources(self):
+        design = make_design("int f(int a[4]) { return a[1] + a[2]; }")
+        sources = design.memory_port_sources()
+        assert "a" in sources
+
+    def test_merged_optypes_baseline_equals_binding(self):
+        design = make_design(BRANCHY)
+        merged = design.merged_fu_optypes()
+        for fu in design.binding.fus:
+            assert merged[fu.name] == fu.optypes

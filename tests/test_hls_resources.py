@@ -1,0 +1,87 @@
+"""Unit tests for the resource library's classification and cost model."""
+
+import pytest
+
+from repro.hls.resources import (
+    FUKind,
+    OPCODE_FU_KIND,
+    ResourceConstraints,
+    fsm_area,
+    fu_kind_for,
+    memory_access_delay,
+    opcode_delay,
+)
+from repro.ir.instructions import BINARY_OPS, Opcode
+
+
+class TestOpcodeClassification:
+    def test_every_binary_op_has_a_kind(self):
+        for opcode in BINARY_OPS:
+            assert fu_kind_for(opcode) is not None
+
+    def test_moves_and_memory_have_no_fu(self):
+        assert fu_kind_for(Opcode.MOV) is None
+        assert fu_kind_for(Opcode.LOAD) is None
+        assert fu_kind_for(Opcode.STORE) is None
+
+    def test_terminators_unmapped(self):
+        assert fu_kind_for(Opcode.JUMP) is None
+        assert fu_kind_for(Opcode.BRANCH) is None
+        assert fu_kind_for(Opcode.RET) is None
+
+    def test_arithmetic_grouping(self):
+        assert fu_kind_for(Opcode.ADD) is FUKind.ADDSUB
+        assert fu_kind_for(Opcode.SUB) is FUKind.ADDSUB
+        assert fu_kind_for(Opcode.NEG) is FUKind.ADDSUB
+        assert fu_kind_for(Opcode.MUL) is FUKind.MUL
+        assert fu_kind_for(Opcode.DIV) is FUKind.DIV
+        assert fu_kind_for(Opcode.REM) is FUKind.DIV
+
+    def test_comparisons_share_comparator(self):
+        for opcode in (Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE):
+            assert fu_kind_for(opcode) is FUKind.CMP
+
+    def test_mapping_is_total_over_table(self):
+        for opcode, kind in OPCODE_FU_KIND.items():
+            assert kind is None or isinstance(kind, FUKind)
+
+
+class TestConstraints:
+    def test_defaults_bounded(self):
+        constraints = ResourceConstraints()
+        for kind in FUKind:
+            limit = constraints.limit(kind)
+            assert limit is None or limit >= 1
+        assert constraints.memory_ports == 1
+
+    def test_unknown_kind_unconstrained(self):
+        constraints = ResourceConstraints(limits={})
+        assert constraints.limit(FUKind.MUL) is None
+
+    def test_custom_limit(self):
+        constraints = ResourceConstraints()
+        constraints.limits[FUKind.DIV] = 2
+        assert constraints.limit(FUKind.DIV) == 2
+
+
+class TestDelays:
+    def test_opcode_delay_mov_is_cheap(self):
+        assert opcode_delay(Opcode.MOV, 32) < opcode_delay(Opcode.ADD, 32)
+
+    def test_division_slowest(self):
+        delays = {
+            opcode: opcode_delay(opcode, 32)
+            for opcode in (Opcode.ADD, Opcode.MUL, Opcode.DIV, Opcode.XOR)
+        }
+        assert delays[Opcode.DIV] == max(delays.values())
+
+    def test_memory_delay_positive(self):
+        assert memory_access_delay() > 0
+
+
+class TestFsmArea:
+    def test_grows_with_states(self):
+        assert fsm_area(64, 80, 100) > fsm_area(8, 10, 12)
+
+    def test_minimum_positive(self):
+        assert fsm_area(1, 0, 0) > 0

@@ -1,0 +1,182 @@
+"""Unit tests for basic blocks, functions, modules and the verifier."""
+
+import pytest
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.function import Function, Module
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import INT32, VOID, ArrayType
+from repro.ir.values import ArrayValue, Temp, Variable, const
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+
+def jump(target):
+    return Instruction(Opcode.JUMP, targets=[target])
+
+
+class TestBasicBlock:
+    def test_append_and_terminator(self):
+        block = BasicBlock("bb0")
+        assert not block.is_terminated
+        block.append(Instruction(Opcode.RET))
+        assert block.is_terminated
+        assert block.terminator.opcode is Opcode.RET
+
+    def test_append_after_terminator_rejected(self):
+        block = BasicBlock("bb0")
+        block.append(Instruction(Opcode.RET))
+        with pytest.raises(ValueError):
+            block.append(Instruction(Opcode.RET))
+
+    def test_successors(self):
+        block = BasicBlock("bb0")
+        block.append(Instruction(Opcode.BRANCH, operands=[const(1)], targets=["a", "b"]))
+        assert block.successors() == ["a", "b"]
+
+    def test_ret_has_no_successors(self):
+        block = BasicBlock("bb0")
+        block.append(Instruction(Opcode.RET))
+        assert block.successors() == []
+
+    def test_body_excludes_terminator(self):
+        block = BasicBlock("bb0")
+        block.append(Instruction(Opcode.MOV, result=Temp(INT32), operands=[const(1)]))
+        block.append(Instruction(Opcode.RET))
+        assert len(block.body) == 1
+        assert len(block) == 2
+
+    def test_datapath_ops(self):
+        block = BasicBlock("bb0")
+        block.append(
+            Instruction(Opcode.ADD, result=Temp(INT32), operands=[const(1), const(2)])
+        )
+        block.append(Instruction(Opcode.MOV, result=Temp(INT32), operands=[const(1)]))
+        block.append(Instruction(Opcode.RET))
+        assert len(block.datapath_ops()) == 1
+
+
+class TestFunction:
+    def test_entry_is_first_block(self):
+        func = Function("f", VOID)
+        first = func.new_block("entry")
+        func.new_block("other")
+        assert func.entry is first
+
+    def test_new_block_names_unique(self):
+        func = Function("f", VOID)
+        names = {func.new_block("bb").name for _ in range(10)}
+        assert len(names) == 10
+
+    def test_duplicate_block_rejected(self):
+        func = Function("f", VOID)
+        block = func.new_block("bb")
+        with pytest.raises(ValueError):
+            func.add_block(BasicBlock(block.name))
+
+    def test_params_classified(self):
+        func = Function("f", INT32)
+        func.add_param(Variable(INT32, "x", is_param=True))
+        func.add_param(ArrayValue(ArrayType(INT32, 4), "buf", is_param=True))
+        assert len(func.scalar_params()) == 1
+        assert len(func.array_params()) == 1
+        assert "buf" in func.arrays
+
+    def test_conditional_branches(self):
+        func = Function("f", VOID)
+        a = func.new_block("a")
+        b = func.new_block("b")
+        c = func.new_block("c")
+        a.append(Instruction(Opcode.BRANCH, operands=[const(1)], targets=[b.name, c.name]))
+        b.append(Instruction(Opcode.RET))
+        c.append(Instruction(Opcode.RET))
+        assert len(func.conditional_branches()) == 1
+
+    def test_returns_value(self):
+        assert Function("f", INT32).returns_value
+        assert not Function("g", VOID).returns_value
+
+
+class TestModule:
+    def test_add_and_get(self):
+        module = Module("m")
+        func = Function("f", VOID)
+        module.add_function(func)
+        assert module.function("f") is func
+        assert module.get("missing") is None
+
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function(Function("f", VOID))
+        with pytest.raises(ValueError):
+            module.add_function(Function("f", VOID))
+
+    def test_iteration_order(self):
+        module = Module("m")
+        module.add_function(Function("a", VOID))
+        module.add_function(Function("b", VOID))
+        assert [f.name for f in module] == ["a", "b"]
+
+
+class TestVerifier:
+    def make_valid(self):
+        module = Module("m")
+        func = Function("f", INT32)
+        block = func.new_block("entry")
+        block.append(Instruction(Opcode.RET, operands=[const(0)]))
+        module.add_function(func)
+        return module, func
+
+    def test_valid_module_passes(self):
+        module, __ = self.make_valid()
+        verify_module(module)
+
+    def test_missing_terminator(self):
+        module, func = self.make_valid()
+        func.new_block("open")
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(module)
+
+    def test_unknown_branch_target(self):
+        module, func = self.make_valid()
+        func.entry.instructions[-1] = Instruction(Opcode.JUMP, targets=["nowhere"])
+        with pytest.raises(VerificationError, match="nowhere"):
+            verify_module(module)
+
+    def test_ret_without_value_in_int_function(self):
+        module, func = self.make_valid()
+        func.entry.instructions[-1] = Instruction(Opcode.RET)
+        with pytest.raises(VerificationError, match="ret"):
+            verify_module(module)
+
+    def test_void_function_returning_value(self):
+        module = Module("m")
+        func = Function("f", VOID)
+        block = func.new_block("entry")
+        block.append(Instruction(Opcode.RET, operands=[const(0)]))
+        module.add_function(func)
+        with pytest.raises(VerificationError, match="void"):
+            verify_module(module)
+
+    def test_unknown_array(self):
+        module, func = self.make_valid()
+        stray = ArrayValue(ArrayType(INT32, 4), "stray")
+        func.entry.instructions.insert(
+            0,
+            Instruction(Opcode.LOAD, result=Temp(INT32), operands=[const(0)], array=stray),
+        )
+        with pytest.raises(VerificationError, match="stray"):
+            verify_function(func, module)
+
+    def test_call_to_unknown_function(self):
+        module, func = self.make_valid()
+        func.entry.instructions.insert(
+            0, Instruction(Opcode.CALL, operands=[], callee="ghost")
+        )
+        with pytest.raises(VerificationError, match="ghost"):
+            verify_module(module)
+
+    def test_terminator_mid_block(self):
+        module, func = self.make_valid()
+        func.entry.instructions.insert(0, Instruction(Opcode.RET, operands=[const(1)]))
+        with pytest.raises(VerificationError, match="not at block end"):
+            verify_module(module)

@@ -1,0 +1,68 @@
+"""Unit tests for call-graph extraction."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir.callgraph import CallGraph
+
+
+def module_with_calls():
+    return compile_c(
+        """
+        int leaf(int x) { return x + 1; }
+        int mid(int x) { return leaf(x) * 2; }
+        int top(int x) { return mid(x) + leaf(x); }
+        """
+    )
+
+
+class TestCallGraph:
+    def test_callees(self):
+        graph = CallGraph(module_with_calls())
+        assert graph.callees["top"] == ["mid", "leaf"]
+        assert graph.callees["mid"] == ["leaf"]
+        assert graph.callees["leaf"] == []
+
+    def test_callers(self):
+        graph = CallGraph(module_with_calls())
+        assert graph.callers["leaf"] == {"mid", "top"}
+        assert graph.callers["top"] == set()
+
+    def test_roots_and_leaves(self):
+        graph = CallGraph(module_with_calls())
+        assert graph.roots() == ["top"]
+        assert graph.leaf_functions() == ["leaf"]
+
+    def test_topological_order_callees_first(self):
+        graph = CallGraph(module_with_calls())
+        order = graph.topological_order()
+        assert order.index("leaf") < order.index("mid")
+        assert order.index("mid") < order.index("top")
+
+    def test_reachable_from(self):
+        graph = CallGraph(module_with_calls())
+        assert graph.reachable_from("mid") == {"mid", "leaf"}
+        assert graph.reachable_from("top") == {"top", "mid", "leaf"}
+
+    def test_not_recursive(self):
+        graph = CallGraph(module_with_calls())
+        assert not graph.is_recursive("top")
+
+    def test_mutual_recursion_detected(self):
+        # Build IR manually: the front-end would reject use-before-decl.
+        from repro.ir.function import Function, Module
+        from repro.ir.instructions import Instruction, Opcode
+        from repro.ir.types import VOID
+
+        module = Module("m")
+        for name, callee in [("a", "b"), ("b", "a")]:
+            func = Function(name, VOID)
+            block = func.new_block("entry")
+            block.append(Instruction(Opcode.CALL, callee=callee))
+            block.append(Instruction(Opcode.RET))
+            module.add_function(func)
+        graph = CallGraph(module)
+        assert graph.is_recursive("a")
+        assert graph.is_recursive("b")
+        with pytest.raises(ValueError, match="recursive"):
+            graph.topological_order()

@@ -1,0 +1,135 @@
+"""Unit tests for CFG analyses: orderings, dominators, loops."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import VOID
+from repro.ir.values import const
+from repro.ir.basic_block import BasicBlock
+
+
+def _block(func, name):
+    """Add a block with an exact name (new_block appends counters)."""
+    return func.add_block(BasicBlock(name))
+
+
+def build_diamond():
+    """entry -> (left|right) -> merge -> exit"""
+    func = Function("f", VOID)
+    entry = _block(func, "entry")
+    left = _block(func, "left")
+    right = _block(func, "right")
+    merge = _block(func, "merge")
+    entry.append(
+        Instruction(Opcode.BRANCH, operands=[const(1)], targets=[left.name, right.name])
+    )
+    left.append(Instruction(Opcode.JUMP, targets=[merge.name]))
+    right.append(Instruction(Opcode.JUMP, targets=[merge.name]))
+    merge.append(Instruction(Opcode.RET))
+    return func
+
+
+def build_loop():
+    """entry -> header <-> body, header -> exit"""
+    func = Function("f", VOID)
+    entry = _block(func, "entry")
+    header = _block(func, "header")
+    body = _block(func, "body")
+    exit_ = _block(func, "exit")
+    entry.append(Instruction(Opcode.JUMP, targets=[header.name]))
+    header.append(
+        Instruction(Opcode.BRANCH, operands=[const(1)], targets=[body.name, exit_.name])
+    )
+    body.append(Instruction(Opcode.JUMP, targets=[header.name]))
+    exit_.append(Instruction(Opcode.RET))
+    return func
+
+
+class TestOrderings:
+    def test_rpo_starts_at_entry(self):
+        cfg = ControlFlowGraph(build_diamond())
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] == "entry"
+        assert rpo[-1] == "merge"
+
+    def test_rpo_visits_all_reachable(self):
+        cfg = ControlFlowGraph(build_loop())
+        assert set(cfg.reverse_postorder()) == {"entry", "header", "body", "exit"}
+
+    def test_unreachable_excluded(self):
+        func = build_diamond()
+        dead = func.new_block("dead")
+        dead.append(Instruction(Opcode.RET))
+        cfg = ControlFlowGraph(func)
+        assert "dead" not in cfg.reachable()
+
+    def test_preds(self):
+        cfg = ControlFlowGraph(build_diamond())
+        assert sorted(cfg.preds["merge"]) == ["left", "right"]
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        cfg = ControlFlowGraph(build_diamond())
+        idom = cfg.immediate_dominators()
+        assert idom["entry"] is None
+        assert idom["left"] == "entry"
+        assert idom["right"] == "entry"
+        assert idom["merge"] == "entry"
+
+    def test_dominates(self):
+        cfg = ControlFlowGraph(build_diamond())
+        assert cfg.dominates("entry", "merge")
+        assert not cfg.dominates("left", "merge")
+        assert cfg.dominates("merge", "merge")
+
+    def test_loop_idoms(self):
+        cfg = ControlFlowGraph(build_loop())
+        idom = cfg.immediate_dominators()
+        assert idom["body"] == "header"
+        assert idom["exit"] == "header"
+
+
+class TestLoops:
+    def test_back_edges(self):
+        cfg = ControlFlowGraph(build_loop())
+        assert cfg.back_edges() == [("body", "header")]
+
+    def test_no_back_edges_in_dag(self):
+        cfg = ControlFlowGraph(build_diamond())
+        assert cfg.back_edges() == []
+
+    def test_natural_loop_members(self):
+        cfg = ControlFlowGraph(build_loop())
+        assert cfg.natural_loop("body", "header") == {"header", "body"}
+
+    def test_loop_headers(self):
+        cfg = ControlFlowGraph(build_loop())
+        assert cfg.loop_headers() == {"header"}
+
+    def test_blocks_in_loops_from_c(self):
+        module = compile_c(
+            """
+            int f(int n) {
+              int s = 0;
+              for (int i = 0; i < n; i++) s += i;
+              return s;
+            }
+            """
+        )
+        cfg = ControlFlowGraph(module.function("f"))
+        in_loops = cfg.blocks_in_loops()
+        assert in_loops  # the for loop produces at least cond+body+step
+        assert cfg.loop_headers()
+
+
+class TestErrors:
+    def test_dangling_target_rejected(self):
+        func = Function("f", VOID)
+        entry = _block(func, "entry")
+        entry.append(Instruction(Opcode.JUMP, targets=["ghost"]))
+        with pytest.raises(ValueError, match="ghost"):
+            ControlFlowGraph(func)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.ir.instructions."""
+
+import pytest
+
+from repro.ir.instructions import (
+    BINARY_OPS,
+    COMMUTATIVE,
+    TERMINATORS,
+    Instruction,
+    Opcode,
+)
+from repro.ir.types import INT32, ArrayType
+from repro.ir.values import ArrayValue, Constant, Temp, const
+
+
+def make_add():
+    return Instruction(
+        Opcode.ADD, result=Temp(INT32), operands=[const(1), const(2)]
+    )
+
+
+class TestValidation:
+    def test_binary_needs_two_operands(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.ADD, result=Temp(INT32), operands=[const(1)])
+
+    def test_unary_needs_one_operand(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.NEG, result=Temp(INT32), operands=[const(1), const(2)])
+
+    def test_load_needs_array(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, result=Temp(INT32), operands=[const(0)])
+
+    def test_store_needs_two_operands(self):
+        array = ArrayValue(ArrayType(INT32, 4), "a")
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STORE, operands=[const(0)], array=array)
+
+    def test_jump_needs_one_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JUMP, targets=["a", "b"])
+
+    def test_branch_needs_condition_and_two_targets(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BRANCH, operands=[const(1)], targets=["a"])
+
+    def test_call_needs_callee(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.CALL, operands=[])
+
+    def test_valid_branch(self):
+        inst = Instruction(Opcode.BRANCH, operands=[const(1)], targets=["t", "f"])
+        assert inst.is_terminator
+        assert inst.targets == ["t", "f"]
+
+
+class TestQueries:
+    def test_terminator_classification(self):
+        assert Instruction(Opcode.RET).is_terminator
+        assert Instruction(Opcode.JUMP, targets=["x"]).is_terminator
+        assert not make_add().is_terminator
+        assert TERMINATORS == {Opcode.JUMP, Opcode.BRANCH, Opcode.RET}
+
+    def test_datapath_classification(self):
+        assert make_add().is_datapath_op
+        mov = Instruction(Opcode.MOV, result=Temp(INT32), operands=[const(1)])
+        assert not mov.is_datapath_op
+
+    def test_constants(self):
+        inst = Instruction(
+            Opcode.ADD, result=Temp(INT32), operands=[const(1), Temp(INT32)]
+        )
+        assert [c.value for c in inst.constants()] == [1]
+
+    def test_replace_operand(self):
+        t = Temp(INT32)
+        inst = Instruction(Opcode.ADD, result=Temp(INT32), operands=[t, t])
+        replaced = inst.replace_operand(t, const(9))
+        assert replaced == 2
+        assert all(isinstance(op, Constant) for op in inst.operands)
+
+    def test_commutative_set(self):
+        assert Opcode.ADD in COMMUTATIVE
+        assert Opcode.SUB not in COMMUTATIVE
+        assert Opcode.SUB in BINARY_OPS
+
+    def test_str_rendering(self):
+        inst = make_add()
+        text = str(inst)
+        assert "add" in text and "1, 2" in text
+
+    def test_uids_unique(self):
+        assert make_add().uid != make_add().uid

@@ -1,0 +1,80 @@
+"""Tests for the IR printer and dot export."""
+
+from repro.frontend import compile_c
+from repro.hls.scheduling import schedule_function
+from repro.ir.printer import cfg_dot, format_function, format_module
+
+SOURCE = """
+int f(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) s += i;
+  return s;
+}
+"""
+
+
+def test_format_function_contains_blocks_and_instructions():
+    module = compile_c(SOURCE)
+    text = format_function(module.function("f"))
+    assert "func i32 @f(" in text
+    assert "preds:" in text
+    assert "branch" in text
+    assert text.strip().endswith("}")
+
+
+def test_in_loop_annotation():
+    module = compile_c(SOURCE)
+    text = format_function(module.function("f"))
+    assert "in-loop" in text
+
+
+def test_schedule_annotation():
+    module = compile_c(SOURCE)
+    func = module.function("f")
+    schedule = schedule_function(func)
+    text = format_function(func, schedule=schedule)
+    assert "[c0]" in text
+
+
+def test_local_array_initializer_preview():
+    module = compile_c(
+        "int g(int i) { int rom[12] = {1,2,3,4,5,6,7,8,9,10,11,12}; return rom[i]; }"
+    )
+    text = format_function(module.function("g"))
+    assert "alloc" in text
+    assert "..." in text  # initializer preview is truncated
+
+
+def test_obfuscated_constant_note():
+    from repro.opt import optimize_module
+    from repro.tao.constants_pass import obfuscate_constants
+    from repro.tao.key import ObfuscationParameters, apportion_keys
+
+    module = compile_c("int g(int x) { return x * 1234; }")
+    optimize_module(module)
+    func = module.function("g")
+    apportionment = apportion_keys(func, ObfuscationParameters())
+    obfuscate_constants(func, apportionment, working_key=0x5A5A5A5A)
+    text = format_function(func)
+    assert "enc(1234)" in text
+
+
+def test_format_module_header():
+    module = compile_c(SOURCE)
+    text = format_module(module)
+    assert text.startswith("; module")
+
+
+def test_cfg_dot_structure():
+    module = compile_c(SOURCE)
+    dot = cfg_dot(module.function("f"))
+    assert dot.startswith('digraph "f"')
+    assert "->" in dot
+    assert dot.strip().endswith("}")
+
+
+def test_cfg_dot_branch_labels():
+    module = compile_c("int f(int a) { if (a) return 1; return 2; }")
+    dot = cfg_dot(module.function("f"))
+    assert '[label="T"]' in dot
+    assert '[label="F"]' in dot

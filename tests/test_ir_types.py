@@ -1,0 +1,129 @@
+"""Unit tests for repro.ir.types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import (
+    BOOL,
+    INT8,
+    INT32,
+    UINT8,
+    UINT32,
+    ArrayType,
+    IntType,
+    VoidType,
+    bits_for_value,
+    common_type,
+)
+
+
+class TestIntType:
+    def test_str_signed(self):
+        assert str(IntType(32, True)) == "i32"
+
+    def test_str_unsigned(self):
+        assert str(IntType(8, False)) == "u8"
+
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+
+    def test_min_max_signed(self):
+        t = IntType(8, True)
+        assert t.min_value == -128
+        assert t.max_value == 127
+
+    def test_min_max_unsigned(self):
+        t = IntType(8, False)
+        assert t.min_value == 0
+        assert t.max_value == 255
+
+    def test_wrap_signed_overflow(self):
+        assert INT8.wrap(128) == -128
+        assert INT8.wrap(255) == -1
+        assert INT8.wrap(-129) == 127
+
+    def test_wrap_unsigned_overflow(self):
+        assert UINT8.wrap(256) == 0
+        assert UINT8.wrap(-1) == 255
+
+    def test_wrap_identity_in_range(self):
+        assert INT32.wrap(12345) == 12345
+        assert INT32.wrap(-12345) == -12345
+
+    def test_contains(self):
+        assert INT8.contains(127)
+        assert not INT8.contains(128)
+        assert UINT8.contains(255)
+        assert not UINT8.contains(-1)
+
+    def test_bool_is_one_bit_unsigned(self):
+        assert BOOL.width == 1
+        assert not BOOL.signed
+        assert BOOL.wrap(3) == 1
+
+    def test_equality_and_hash(self):
+        assert IntType(32, True) == IntType(32, True)
+        assert IntType(32, True) != IntType(32, False)
+        assert hash(IntType(16, True)) == hash(IntType(16, True))
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_wrap_is_idempotent(self, value):
+        wrapped = INT8.wrap(value)
+        assert INT8.wrap(wrapped) == wrapped
+        assert INT8.contains(wrapped)
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.booleans(),
+        st.integers(min_value=-(2**70), max_value=2**70),
+    )
+    def test_wrap_congruent_mod_2w(self, width, signed, value):
+        t = IntType(width, signed)
+        assert (t.wrap(value) - value) % (1 << width) == 0
+
+
+class TestArrayType:
+    def test_str(self):
+        assert str(ArrayType(INT32, 10)) == "i32[10]"
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArrayType(INT32, 0)
+
+
+class TestCommonType:
+    def test_wider_wins(self):
+        assert common_type(INT8, INT32) == INT32
+
+    def test_equal_width_unsigned_wins(self):
+        assert common_type(INT32, UINT32) == UINT32
+
+    def test_signed_pair_stays_signed(self):
+        assert common_type(INT8, INT32).signed
+
+    def test_commutative(self):
+        assert common_type(INT8, UINT32) == common_type(UINT32, INT8)
+
+
+class TestBitsForValue:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 2), (127, 8), (128, 9), (-1, 1), (-128, 8), (-129, 9)],
+    )
+    def test_known_values(self, value, expected):
+        assert bits_for_value(value) == expected
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_value_fits_in_reported_bits(self, value):
+        bits = bits_for_value(value)
+        t = IntType(bits, signed=True)
+        assert t.contains(value)
+
+
+class TestVoidType:
+    def test_str(self):
+        assert str(VoidType()) == "void"
+
+    def test_equality(self):
+        assert VoidType() == VoidType()

@@ -1,0 +1,117 @@
+"""Unit tests for repro.ir.values, including ObfuscatedConstant."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.types import INT8, INT32, UINT8, ArrayType, IntType
+from repro.ir.values import (
+    ArrayValue,
+    Constant,
+    ObfuscatedConstant,
+    Temp,
+    Variable,
+    const,
+)
+
+
+class TestConstant:
+    def test_wraps_on_construction(self):
+        assert Constant(256, UINT8).value == 0
+        assert Constant(128, INT8).value == -128
+
+    def test_equality_by_value_and_type(self):
+        assert Constant(5, INT32) == Constant(5, INT32)
+        assert Constant(5, INT32) != Constant(5, UINT8)
+        assert Constant(5, INT32) != Constant(6, INT32)
+
+    def test_hashable(self):
+        assert len({Constant(5, INT32), Constant(5, INT32)}) == 1
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Constant("5", INT32)
+
+    def test_const_helper(self):
+        c = const(42)
+        assert c.value == 42
+        assert c.type == INT32
+
+
+class TestTempAndVariable:
+    def test_temp_names_unique(self):
+        a, b = Temp(INT32), Temp(INT32)
+        assert a.name != b.name
+
+    def test_variable_param_flag(self):
+        v = Variable(INT32, "x", is_param=True)
+        assert v.is_param
+        assert v.name == "x"
+
+
+class TestArrayValue:
+    def test_accessors(self):
+        a = ArrayValue(ArrayType(INT8, 16), "buf")
+        assert a.element_type == INT8
+        assert a.size == 16
+
+    def test_initializer(self):
+        a = ArrayValue(ArrayType(INT32, 4), "rom", initializer=[1, 2, 3, 4])
+        assert a.initializer == [1, 2, 3, 4]
+
+
+class TestObfuscatedConstant:
+    def test_decode_with_correct_key(self):
+        original = Constant(10, IntType(5, signed=False))
+        key_slice = 0b11101
+        stored = ObfuscatedConstant.encode(10, key_slice, 5)
+        assert stored == 0b10111  # the paper's worked example (§3.3.2)
+        obf = ObfuscatedConstant(stored, key_offset=0, storage_width=5, original=original)
+        assert obf.decode(key_slice) == 10
+
+    def test_paper_second_example(self):
+        # K = 5'b00111 encodes 10 as 5'b01101.
+        stored = ObfuscatedConstant.encode(10, 0b00111, 5)
+        assert stored == 0b01101
+
+    def test_decode_with_wrong_key_differs(self):
+        original = Constant(10, IntType(32, signed=True))
+        stored = ObfuscatedConstant.encode(10, 0xDEADBEEF, 32)
+        obf = ObfuscatedConstant(stored, 0, 32, original)
+        assert obf.decode(0xDEADBEEF) == 10
+        assert obf.decode(0) != 10
+
+    def test_key_offset_slicing(self):
+        original = Constant(7, INT32)
+        stored = ObfuscatedConstant.encode(7, 0x55, 32)
+        obf = ObfuscatedConstant(stored, key_offset=8, storage_width=32, original=original)
+        working_key = 0x55 << 8
+        assert obf.decode(working_key) == 7
+
+    def test_negative_constant_roundtrip(self):
+        original = Constant(-3, INT8)
+        key = 0xABCDEF12
+        stored = ObfuscatedConstant.encode(-3, key, 32)
+        obf = ObfuscatedConstant(stored, 0, 32, original)
+        assert obf.decode(key) == -3
+
+    @given(
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_encode_decode_roundtrip(self, value, key_slice):
+        original = Constant(value, INT32)
+        stored = ObfuscatedConstant.encode(original.value, key_slice, 32)
+        obf = ObfuscatedConstant(stored, 0, 32, original)
+        assert obf.decode(key_slice) == original.value
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_wrong_key_decodes_to_xor_difference(self, value, key, wrong):
+        original = Constant(value, IntType(32, signed=False))
+        stored = ObfuscatedConstant.encode(value, key, 32)
+        obf = ObfuscatedConstant(stored, 0, 32, original)
+        expected = (value ^ key ^ wrong) & 0xFFFFFFFF
+        assert obf.decode(wrong) == expected

@@ -1,0 +1,142 @@
+"""Tests for algebraic simplification / strength reduction, including
+its interaction with TAO constant obfuscation (§3.3.2's claim that
+obfuscated constants block these rewrites)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_c
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import INT32, UINT32
+from repro.ir.values import Constant, ObfuscatedConstant, Temp, Variable
+from repro.opt.algebraic import simplify_algebraic
+from repro.sim.interpreter import run_function
+
+
+def simplify(source):
+    module = compile_c(source)
+    func = next(iter(module.functions.values()))
+    simplify_algebraic(func, module)
+    return module, func
+
+
+def opcodes(func):
+    return [i.opcode for i in func.instructions()]
+
+
+class TestIdentities:
+    @pytest.mark.parametrize(
+        "expr,killed",
+        [
+            ("a + 0", Opcode.ADD),
+            ("a - 0", Opcode.SUB),
+            ("a * 1", Opcode.MUL),
+            ("a / 1", Opcode.DIV),
+            ("a | 0", Opcode.OR),
+            ("a ^ 0", Opcode.XOR),
+            ("a << 0", Opcode.SHL),
+            ("a >> 0", Opcode.SHR),
+            ("0 + a", Opcode.ADD),
+            ("1 * a", Opcode.MUL),
+        ],
+    )
+    def test_identity_removed(self, expr, killed):
+        module, func = simplify(f"int f(int a) {{ return {expr}; }}")
+        assert killed not in opcodes(func)
+        assert run_function(module, "f", [13]).return_value == 13
+
+    @pytest.mark.parametrize(
+        "expr",
+        ["a * 0", "0 * a", "a & 0", "0 / a", "0 % a", "a % 1", "0 >> a", "0 << a"],
+    )
+    def test_annihilators_become_zero(self, expr):
+        module, func = simplify(f"int f(int a) {{ return {expr}; }}")
+        assert run_function(module, "f", [13]).return_value == 0
+
+    def test_self_subtraction(self):
+        module, func = simplify("int f(int a) { return a - a; }")
+        assert Opcode.SUB not in opcodes(func)
+        assert run_function(module, "f", [99]).return_value == 0
+
+    def test_self_xor(self):
+        module, func = simplify("int f(int a) { return a ^ a; }")
+        assert run_function(module, "f", [99]).return_value == 0
+
+    def test_self_and_or_idempotent(self):
+        module, func = simplify("int f(int a) { return (a & a) + (a | a); }")
+        assert Opcode.AND not in opcodes(func)
+        assert Opcode.OR not in opcodes(func)
+        assert run_function(module, "f", [21]).return_value == 42
+
+    def test_and_with_all_ones(self):
+        module, func = simplify("int f(int a) { return a & -1; }")
+        assert Opcode.AND not in opcodes(func)
+        assert run_function(module, "f", [77]).return_value == 77
+
+
+class TestStrengthReduction:
+    def test_multiply_by_power_of_two(self):
+        module, func = simplify("int f(int a) { return a * 8; }")
+        assert Opcode.MUL not in opcodes(func)
+        assert Opcode.SHL in opcodes(func)
+        assert run_function(module, "f", [5]).return_value == 40
+
+    def test_unsigned_divide_by_power_of_two(self):
+        module, func = simplify(
+            "unsigned int f(unsigned int a) { return a / 4; }"
+        )
+        assert Opcode.DIV not in opcodes(func)
+        assert Opcode.SHR in opcodes(func)
+        assert run_function(module, "f", [100]).return_value == 25
+
+    def test_signed_divide_not_reduced(self):
+        # -7 / 4 == -1 in C but -7 >> 2 == -2: must not rewrite.
+        module, func = simplify("int f(int a) { return a / 4; }")
+        assert Opcode.DIV in opcodes(func)
+        assert run_function(module, "f", [-7]).return_value == -1
+
+    def test_unsigned_remainder_to_mask(self):
+        module, func = simplify(
+            "unsigned int f(unsigned int a) { return a % 16; }"
+        )
+        assert Opcode.REM not in opcodes(func)
+        assert Opcode.AND in opcodes(func)
+        assert run_function(module, "f", [37]).return_value == 5
+
+    def test_non_power_of_two_untouched(self):
+        module, func = simplify("int f(int a) { return a * 7; }")
+        assert Opcode.MUL in opcodes(func)
+
+
+class TestObfuscationInteraction:
+    def test_obfuscated_constant_blocks_simplification(self):
+        """§3.3.2: once a constant is key-encoded the optimizer cannot
+        prove it is 1/0/2^k, so the operation must survive."""
+        module = compile_c("int f(int a) { return a * 8; }")
+        func = module.function("f")
+        # Manually obfuscate the constant BEFORE algebraic simplification.
+        mul = next(i for i in func.instructions() if i.opcode is Opcode.MUL)
+        position = next(
+            p for p, op in enumerate(mul.operands) if isinstance(op, Constant)
+        )
+        original = mul.operands[position]
+        stored = ObfuscatedConstant.encode(original.value, 0xAB, 32)
+        mul.operands[position] = ObfuscatedConstant(stored, 0, 32, original)
+        changed = simplify_algebraic(func, module)
+        assert Opcode.MUL in opcodes(func)  # not strength-reduced
+        # Behaviour with the design-time plaintext is unchanged.
+        assert run_function(module, "f", [5]).return_value == 40
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=-1000, max_value=1000),
+    st.sampled_from(["a + 0", "a * 1", "a * 4", "a - a", "a ^ 0", "(a & a) | 0"]),
+)
+def test_property_simplification_preserves_semantics(a, expr):
+    source = f"int f(int a) {{ return {expr}; }}"
+    module = compile_c(source)
+    before = run_function(module, "f", [a]).return_value
+    func = module.function("f")
+    simplify_algebraic(func, module)
+    assert run_function(module, "f", [a]).return_value == before

@@ -1,0 +1,155 @@
+"""Unit tests for function inlining."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.ir.instructions import Opcode
+from repro.ir.verifier import verify_module
+from repro.opt.inline import inline_module
+from repro.sim.interpreter import run_function
+
+
+def inline_and_check(source, func, args=(), arrays=None):
+    module = compile_c(source)
+    before = run_function(module, func, args, dict(arrays) if arrays else None)
+    inline_module(module)
+    verify_module(module)
+    after = run_function(module, func, args, dict(arrays) if arrays else None)
+    assert before.return_value == after.return_value
+    for name in before.arrays:
+        if name in after.arrays:
+            assert before.arrays[name] == after.arrays[name]
+    return module, after
+
+
+class TestInlining:
+    def test_simple_scalar_call(self):
+        module, result = inline_and_check(
+            "int sq(int x) { return x * x; } int f(int a) { return sq(a) + 1; }",
+            "f",
+            [4],
+        )
+        func = module.function("f")
+        assert not any(i.opcode is Opcode.CALL for i in func.instructions())
+        assert result.return_value == 17
+
+    def test_multiple_call_sites(self):
+        module, result = inline_and_check(
+            "int inc(int x) { return x + 1; } int f(int a) { return inc(a) + inc(a * 2); }",
+            "f",
+            [10],
+        )
+        assert result.return_value == 11 + 21
+
+    def test_nested_calls(self):
+        module, result = inline_and_check(
+            """
+            int a1(int x) { return x + 1; }
+            int a2(int x) { return a1(x) * 2; }
+            int f(int v) { return a2(v) + a1(v); }
+            """,
+            "f",
+            [5],
+        )
+        assert result.return_value == 12 + 6
+        assert "f" in module.functions
+
+    def test_void_callee(self):
+        module, result = inline_and_check(
+            """
+            void store(int a[4], int i, int v) { a[i] = v; }
+            int f(int buf[4]) { store(buf, 1, 42); return buf[1]; }
+            """,
+            "f",
+            [],
+            {"buf": [0, 0, 0, 0]},
+        )
+        assert result.return_value == 42
+
+    def test_array_binding(self):
+        module, result = inline_and_check(
+            """
+            int total(int a[4]) { int s = 0; for (int i = 0; i < 4; i++) s += a[i]; return s; }
+            int f(int xs[4], int ys[4]) { return total(xs) - total(ys); }
+            """,
+            "f",
+            [],
+            {"xs": [5, 5, 5, 5], "ys": [1, 1, 1, 1]},
+        )
+        assert result.return_value == 16
+
+    def test_callee_rom_shared_across_call_sites(self):
+        module, result = inline_and_check(
+            """
+            int pick(int i) { int rom[4] = {10, 20, 30, 40}; return rom[i]; }
+            int f() { return pick(1) + pick(3); }
+            """,
+            "f",
+        )
+        assert result.return_value == 60
+        func = module.function("f")
+        # Read-only initialized arrays are immutable: both call sites
+        # share one ROM clone instead of duplicating the table.
+        assert len(func.local_arrays()) == 1
+
+    def test_callee_writable_arrays_cloned_per_site(self):
+        module, result = inline_and_check(
+            """
+            int scratch(int v) {
+              int buf[2];
+              buf[0] = v;
+              buf[1] = v * 2;
+              return buf[0] + buf[1];
+            }
+            int f() { return scratch(1) + scratch(10); }
+            """,
+            "f",
+        )
+        assert result.return_value == 3 + 30
+        func = module.function("f")
+        # Written arrays carry per-invocation state: one clone per site.
+        assert len(func.local_arrays()) == 2
+
+    def test_early_return_in_callee(self):
+        module, result = inline_and_check(
+            """
+            int clamp(int x) { if (x > 10) return 10; return x; }
+            int f(int a) { return clamp(a) + clamp(a + 20); }
+            """,
+            "f",
+            [3],
+        )
+        assert result.return_value == 13
+
+    def test_callee_with_loop(self):
+        module, result = inline_and_check(
+            """
+            int fact(int n) { int r = 1; for (int i = 2; i <= n; i++) r *= i; return r; }
+            int f(int n) { return fact(n) + fact(3); }
+            """,
+            "f",
+            [5],
+        )
+        assert result.return_value == 126
+
+    def test_uncalled_helpers_dropped_only_when_unreferenced(self):
+        module = compile_c(
+            "int h(int x) { return x; } int f(int a) { return h(a); }"
+        )
+        inline_module(module)
+        # 'h' becomes uncalled after inlining and is pruned; 'f' remains.
+        assert "f" in module.functions
+
+    def test_recursion_rejected(self):
+        from repro.ir.function import Function, Module
+        from repro.ir.instructions import Instruction
+        from repro.ir.types import VOID
+
+        module = Module("m")
+        func = Function("r", VOID)
+        block = func.new_block("entry")
+        block.append(Instruction(Opcode.CALL, callee="r"))
+        block.append(Instruction(Opcode.RET))
+        module.add_function(func)
+        with pytest.raises(ValueError, match="recursive"):
+            inline_module(module)

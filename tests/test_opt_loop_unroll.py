@@ -1,0 +1,216 @@
+"""Tests for full loop unrolling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_c
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.verifier import verify_module
+from repro.opt.loop_unroll import unroll_loops
+from repro.sim.interpreter import run_function
+
+
+def unroll(source, name="f", max_trip=16):
+    module = compile_c(source)
+    func = module.function(name)
+    changed = unroll_loops(func, module, max_trip_count=max_trip)
+    verify_module(module)
+    return module, func, changed
+
+
+class TestEligibleLoops:
+    def test_simple_counted_loop_unrolled(self):
+        source = """
+        int f(int a) {
+          int s = 0;
+          for (int i = 0; i < 4; i++) s += a + i;
+          return s;
+        }
+        """
+        module, func, changed = unroll(source)
+        assert changed
+        cfg = ControlFlowGraph(func)
+        assert not cfg.back_edges()  # loop is gone
+        assert run_function(module, "f", [10]).return_value == 46
+
+    def test_step_greater_than_one(self):
+        source = """
+        int f() {
+          int s = 0;
+          for (int i = 0; i < 10; i += 3) s += i;
+          return s;
+        }
+        """
+        module, func, changed = unroll(source)
+        assert changed
+        assert run_function(module, "f").return_value == 0 + 3 + 6 + 9
+
+    def test_countdown_loop(self):
+        source = """
+        int f() {
+          int s = 0;
+          for (int i = 5; i > 0; i += -1) s += i;
+          return s;
+        }
+        """
+        module, func, changed = unroll(source)
+        assert changed
+        assert run_function(module, "f").return_value == 15
+
+    def test_zero_trip_loop(self):
+        source = """
+        int f() {
+          int s = 7;
+          for (int i = 10; i < 4; i++) s += 100;
+          return s;
+        }
+        """
+        module, func, changed = unroll(source)
+        assert changed
+        assert run_function(module, "f").return_value == 7
+
+    def test_array_body(self):
+        source = """
+        int f(int data[4], int out[4]) {
+          for (int i = 0; i < 4; i++) out[i] = data[i] * 2;
+          return out[0];
+        }
+        """
+        module, func, changed = unroll(source)
+        assert changed
+        result = run_function(module, "f", [], {"data": [1, 2, 3, 4]})
+        assert result.arrays["out"] == [2, 4, 6, 8]
+
+    def test_if_inside_loop(self):
+        source = """
+        int f(int a) {
+          int s = 0;
+          for (int i = 0; i < 6; i++) {
+            if (i % 2 == 0) s += a;
+            else s -= 1;
+          }
+          return s;
+        }
+        """
+        module, func, changed = unroll(source)
+        assert changed
+        assert run_function(module, "f", [5]).return_value == 15 - 3
+
+
+class TestIneligibleLoops:
+    def test_dynamic_bound_not_unrolled(self):
+        source = """
+        int f(int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++) s += i;
+          return s;
+        }
+        """
+        module, func, changed = unroll(source)
+        assert not changed
+        assert run_function(module, "f", [5]).return_value == 10
+
+    def test_trip_count_above_limit_not_unrolled(self):
+        source = """
+        int f() {
+          int s = 0;
+          for (int i = 0; i < 100; i++) s += i;
+          return s;
+        }
+        """
+        module, func, changed = unroll(source, max_trip=16)
+        assert not changed
+        assert run_function(module, "f").return_value == 4950
+
+    def test_induction_modified_in_body_not_unrolled(self):
+        source = """
+        int f() {
+          int s = 0;
+          for (int i = 0; i < 8; i++) {
+            s += i;
+            if (s > 5) i = i + 1;
+          }
+          return s;
+        }
+        """
+        module, func, changed = unroll(source)
+        assert not changed
+
+    def test_nested_loops_inner_only(self):
+        source = """
+        int f(int n) {
+          int s = 0;
+          for (int i = 0; i < n; i++) {
+            for (int j = 0; j < 3; j++) s += j;
+          }
+          return s;
+        }
+        """
+        module, func, changed = unroll(source)
+        # The inner loop is counted; the outer is dynamic.
+        assert run_function(module, "f", [4]).return_value == 12
+
+
+class TestInteractionWithFlow:
+    def test_unrolled_design_simulates(self):
+        from repro.hls import hls_flow
+        from repro.sim import Testbench, run_testbench
+
+        source = """
+        int f(int data[4], int out[4]) {
+          for (int i = 0; i < 4; i++) out[i] = data[i] + 1;
+          return out[3];
+        }
+        """
+        module = compile_c(source)
+        func = module.function("f")
+        unroll_loops(func, module)
+        design = hls_flow(module, "f", optimize=False)
+        bench = Testbench(args=[], arrays={"data": [5, 6, 7, 8]})
+        assert run_testbench(design, bench).matches
+
+    def test_unrolling_reduces_latency(self):
+        """Unrolled loops trade states for parallelism: the FSMD needs
+        no header re-evaluation per iteration."""
+        from repro.hls import hls_flow
+        from repro.sim import Testbench, simulate
+
+        source = """
+        int f(int data[4]) {
+          int s = 0;
+          for (int i = 0; i < 4; i++) s += data[i];
+          return s;
+        }
+        """
+        rolled = compile_c(source)
+        rolled_design = hls_flow(rolled, "f")
+        unrolled = compile_c(source)
+        func = unrolled.function("f")
+        unroll_loops(func, unrolled)
+        unrolled_design = hls_flow(unrolled, "f")
+        arrays = {"data": [1, 2, 3, 4]}
+        rolled_cycles = simulate(rolled_design, [], dict(arrays)).cycles
+        unrolled_cycles = simulate(unrolled_design, [], dict(arrays)).cycles
+        assert unrolled_cycles < rolled_cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=-10, max_value=10),
+)
+def test_property_unrolling_preserves_semantics(bound, step, a):
+    source = f"""
+    int f(int a) {{
+      int s = 0;
+      for (int i = 0; i < {bound}; i += {step}) s += a * i + 1;
+      return s;
+    }}
+    """
+    module = compile_c(source)
+    before = run_function(module, "f", [a]).return_value
+    func = module.function("f")
+    unroll_loops(func, module)
+    verify_module(module)
+    assert run_function(module, "f", [a]).return_value == before

@@ -1,0 +1,111 @@
+"""Tests for the Verilog testbench generator (§4.1 artifact)."""
+
+import random
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.hls import hls_flow
+from repro.rtl.testbench_gen import TestbenchVector, generate_testbench
+from repro.sim import Testbench
+from repro.tao import LockingKey, TaoFlow
+
+SOURCE = """
+int mac(int gain, int data[4], int out[4]) {
+  int acc = 0;
+  for (int i = 0; i < 4; i++) {
+    acc += data[i] * gain;
+    out[i] = acc;
+  }
+  return acc;
+}
+"""
+
+BENCH = Testbench(args=[3], arrays={"data": [1, 2, 3, 4]})
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    module = compile_c(SOURCE)
+    return hls_flow(module, "mac")
+
+
+@pytest.fixture(scope="module")
+def component():
+    return TaoFlow().obfuscate(SOURCE, "mac")
+
+
+class TestBaselineTestbench:
+    def test_structure(self, baseline):
+        text = generate_testbench(baseline, [BENCH])
+        assert text.startswith("// Self-checking testbench for mac")
+        assert "`timescale" in text
+        assert "module tb_mac;" in text
+        assert "mac dut (" in text
+        assert "endmodule" in text
+        assert "$finish;" in text
+
+    def test_expected_return_value_embedded(self, baseline):
+        # golden: acc = 3*(1+3+6+10) = 30? acc accumulates data[i]*gain:
+        # 3, 9, 18, 30 -> return 30.
+        text = generate_testbench(baseline, [BENCH])
+        assert "32'd30" in text
+
+    def test_clock_period_configurable(self, baseline):
+        text = generate_testbench(baseline, [BENCH], clock_ns=4.0)
+        assert "always #2 clk = ~clk;" in text
+
+    def test_no_working_key_in_baseline(self, baseline):
+        text = generate_testbench(baseline, [BENCH])
+        assert "working_key" not in text
+
+
+class TestObfuscatedTestbench:
+    def test_key_vectors_emitted(self, component):
+        rng = random.Random(0)
+        wrong = component.working_key_for(LockingKey.random(rng))
+        text = generate_testbench(
+            component.design,
+            [BENCH],
+            correct_working_key=component.correct_working_key,
+            wrong_working_keys=[wrong],
+        )
+        assert "EXPECT_PASS" in text
+        assert "EXPECT_FAIL" in text
+        assert "working_key = " in text
+        width = component.working_key_bits
+        assert f"reg [{width - 1}:0] working_key;" in text
+
+    def test_wrong_key_check_inverted(self, component):
+        rng = random.Random(1)
+        wrong = component.working_key_for(LockingKey.random(rng))
+        text = generate_testbench(
+            component.design,
+            [BENCH],
+            correct_working_key=component.correct_working_key,
+            wrong_working_keys=[wrong],
+        )
+        assert "wrong key passed" in text
+
+    def test_vector_count(self, component):
+        rng = random.Random(2)
+        wrongs = [
+            component.working_key_for(LockingKey.random(rng)) for _ in range(3)
+        ]
+        benches = [BENCH, Testbench(args=[5], arrays={"data": [9, 8, 7, 6]})]
+        text = generate_testbench(
+            component.design,
+            benches,
+            correct_working_key=component.correct_working_key,
+            wrong_working_keys=wrongs,
+        )
+        # 2 workloads x (1 correct + 3 wrong) = 8 vectors.
+        assert text.count("// vector") == 8
+
+    def test_cycle_budget_positive(self, component):
+        text = generate_testbench(
+            component.design,
+            [BENCH],
+            correct_working_key=component.correct_working_key,
+        )
+        assert "cycle_count <" in text

@@ -1,0 +1,180 @@
+"""Tests for the cycle-accurate FSMD simulator: agreement with the
+golden interpreter across control/data patterns, plus harness behavior."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_c
+from repro.hls import hls_flow
+from repro.sim import (
+    SimulationError,
+    Testbench,
+    hamming_distance_fraction,
+    output_bit_vector,
+    run_testbench,
+    simulate,
+)
+
+
+def design_for(source, top=None):
+    module = compile_c(source)
+    if top is None:
+        top = next(iter(module.functions))
+    return hls_flow(module, top)
+
+
+class TestAgreementWithGolden:
+    @pytest.mark.parametrize(
+        "source,args,arrays",
+        [
+            ("int f(int a) { return a * 3 - 7; }", [10], None),
+            (
+                "int f(int a) { if (a > 5) return 1; else return 0; }",
+                [9],
+                None,
+            ),
+            (
+                "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * i; return s; }",
+                [7],
+                None,
+            ),
+            (
+                """
+                int f(int a[4], int out[4]) {
+                  for (int i = 0; i < 4; i++) out[i] = a[i] << 1;
+                  return out[3];
+                }
+                """,
+                [],
+                {"a": [1, 2, 3, 4]},
+            ),
+            (
+                """
+                int f(int x) {
+                  int rom[4] = {2, 4, 8, 16};
+                  int s = 0;
+                  for (int i = 0; i < 4; i++) s += rom[i] * x;
+                  return s;
+                }
+                """,
+                [3],
+                None,
+            ),
+            (
+                """
+                int sub(int a, int b) { return a - b; }
+                int f(int a, int b) { return sub(a, b) + sub(b, a); }
+                """,
+                [10, 4],
+                None,
+            ),
+            (
+                "int f(int a) { int i = 0; while (a > 1) { a /= 2; i++; } return i; }",
+                [64],
+                None,
+            ),
+        ],
+    )
+    def test_matches_interpreter(self, source, args, arrays):
+        design = design_for(source, "f")
+        bench = Testbench(args=list(args), arrays=dict(arrays or {}))
+        outcome = run_testbench(design, bench)
+        assert outcome.matches, (
+            f"golden={outcome.golden.return_value} "
+            f"sim={outcome.simulated.return_value}"
+        )
+
+    def test_unsigned_arithmetic(self):
+        source = "unsigned int f(unsigned int a) { return a >> 1; }"
+        design = design_for(source)
+        bench = Testbench(args=[0xFFFFFFFE])
+        assert run_testbench(design, bench).matches
+
+    def test_narrow_types(self):
+        source = "char f(char a, char b) { return a + b; }"
+        design = design_for(source)
+        assert run_testbench(design, Testbench(args=[100, 100])).matches
+
+
+class TestSimulatorBehavior:
+    def test_cycle_budget_timeout(self):
+        source = "int f(int n) { int s = 0; while (n != 0) { s += 1; } return s; }"
+        design = design_for(source)
+        result = simulate(design, [1], max_cycles=50)
+        assert not result.completed
+        assert result.cycles == 50
+
+    def test_wrong_arg_count(self):
+        design = design_for("int f(int a) { return a; }")
+        with pytest.raises(SimulationError, match="expects"):
+            simulate(design, [])
+
+    def test_state_trace(self):
+        from repro.sim.fsmd_sim import FsmdSimulator
+
+        design = design_for("int f() { return 1; }")
+        result = FsmdSimulator(design, trace=True).run([])
+        assert result.state_trace
+        assert result.completed
+
+    def test_void_function(self):
+        source = "void f(int out[2]) { out[0] = 5; out[1] = 6; }"
+        design = design_for(source)
+        result = simulate(design)
+        assert result.completed
+        assert result.arrays["out"] == [5, 6]
+
+    def test_array_inputs_padded(self):
+        design = design_for("int f(int a[4]) { return a[3]; }")
+        result = simulate(design, arrays={"a": [7]})  # short input padded
+        assert result.return_value == 0
+
+    def test_cycles_deterministic(self):
+        design = design_for(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }"
+        )
+        a = simulate(design, [5]).cycles
+        b = simulate(design, [5]).cycles
+        assert a == b
+
+
+class TestOutputBits:
+    def test_bit_vector_includes_return_and_arrays(self):
+        source = "int f(int out[2]) { out[0] = 1; out[1] = 2; return 3; }"
+        module = compile_c(source)
+        bits = output_bit_vector(3, {"out": [1, 2]}, ["out"], module, "f")
+        assert len(bits) == 32 * 3
+        assert bits[0] == 1 and bits[1] == 1  # return LSBs of 3
+
+    def test_hamming_identical(self):
+        assert hamming_distance_fraction([1, 0, 1], [1, 0, 1]) == 0.0
+
+    def test_hamming_all_different(self):
+        assert hamming_distance_fraction([1, 1], [0, 0]) == 1.0
+
+    def test_hamming_length_mismatch_counts_tail(self):
+        assert hamming_distance_fraction([1, 1, 1, 1], []) == 1.0
+
+    def test_hamming_empty(self):
+        assert hamming_distance_fraction([], []) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=0, max_value=10),
+)
+def test_property_fsmd_equals_interpreter(a, n):
+    """Property: the FSMD simulation always equals the golden model."""
+    source = """
+    int f(int a, int n) {
+      int acc = a;
+      for (int i = 0; i < n; i++) {
+        if (acc % 3 == 0) acc = acc / 3 + i;
+        else acc = acc * 2 - i;
+      }
+      return acc;
+    }
+    """
+    design = design_for(source)
+    assert run_testbench(design, Testbench(args=[a, n])).matches

@@ -1,0 +1,99 @@
+"""Focused tests for the golden IR interpreter's runtime behaviour."""
+
+import pytest
+
+from repro.frontend import compile_c
+from repro.sim.interpreter import Interpreter, InterpreterError, run_function
+
+
+class TestRuntimeBehaviour:
+    def test_step_budget_enforced(self):
+        source = "int f() { int s = 0; while (1) { s += 1; } return s; }"
+        module = compile_c(source)
+        interpreter = Interpreter(module, max_steps=500)
+        with pytest.raises(InterpreterError, match="exceeded"):
+            interpreter.run("f")
+
+    def test_unknown_function(self):
+        module = compile_c("int f() { return 1; }")
+        with pytest.raises(InterpreterError, match="ghost"):
+            Interpreter(module).run("ghost")
+
+    def test_wrong_arg_count(self):
+        module = compile_c("int f(int a) { return a; }")
+        with pytest.raises(InterpreterError, match="expects"):
+            run_function(module, "f", [1, 2])
+
+    def test_block_trace(self):
+        source = "int f(int a) { if (a) return 1; return 0; }"
+        module = compile_c(source)
+        result = Interpreter(module).run("f", [1], trace_blocks=True)
+        assert result.block_trace
+        assert result.block_trace[0].startswith("entry")
+
+    def test_instruction_count_grows_with_work(self):
+        source = "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }"
+        module = compile_c(source)
+        small = run_function(module, "f", [2]).instructions_executed
+        large = run_function(module, "f", [20]).instructions_executed
+        assert large > small
+
+    def test_array_index_wraps(self):
+        source = "int f(int a[4]) { return a[7]; }"  # 7 % 4 == 3
+        module = compile_c(source)
+        result = run_function(module, "f", [], {"a": [10, 20, 30, 40]})
+        assert result.return_value == 40
+
+    def test_negative_store_value_wrapped_to_element_type(self):
+        source = """
+        int f(int out[2]) {
+          out[0] = 300;
+          return out[0];
+        }
+        """
+        module = compile_c(source)
+        # out is int32: 300 fits, no wrap
+        assert run_function(module, "f").return_value == 300
+        source_char = """
+        int f(char out[2]) {
+          out[0] = 300;
+          return out[0];
+        }
+        """
+        module = compile_c(source_char)
+        assert run_function(module, "f").return_value == 300 - 256
+
+    def test_uninitialized_scalar_reads_zero(self):
+        source = "int f() { int x; return x + 5; }"
+        module = compile_c(source)
+        assert run_function(module, "f").return_value == 5
+
+    def test_provided_array_shorter_than_declared(self):
+        source = "int f(int a[6]) { return a[5]; }"
+        module = compile_c(source)
+        assert run_function(module, "f", [], {"a": [1, 2]}).return_value == 0
+
+    def test_callee_array_writes_visible_to_caller(self):
+        source = """
+        void bump(int a[3]) { for (int i = 0; i < 3; i++) a[i] += 1; }
+        int f(int data[3]) { bump(data); bump(data); return data[2]; }
+        """
+        module = compile_c(source)
+        result = run_function(module, "f", [], {"data": [7, 8, 9]})
+        assert result.return_value == 11
+        assert result.arrays["data"] == [9, 10, 11]
+
+    def test_void_return_value_none(self):
+        source = "void f(int out[1]) { out[0] = 3; }"
+        module = compile_c(source)
+        assert run_function(module, "f").return_value is None
+
+    def test_nested_call_depth(self):
+        source = """
+        int add1(int x) { return x + 1; }
+        int add2(int x) { return add1(add1(x)); }
+        int add4(int x) { return add2(add2(x)); }
+        int f(int x) { return add4(x); }
+        """
+        module = compile_c(source)
+        assert run_function(module, "f", [10]).return_value == 14

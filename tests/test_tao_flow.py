@@ -1,0 +1,169 @@
+"""End-to-end tests of the TAO flow and validation metrics."""
+
+import random
+
+import pytest
+
+from repro.rtl import estimate_area, estimate_timing
+from repro.sim import Testbench, run_testbench
+from repro.tao import (
+    LockingKey,
+    ObfuscationParameters,
+    TaoFlow,
+    obfuscate_source,
+    validate_component,
+)
+
+SOURCE = """
+int kernel(int gain, int data[6], int out[6]) {
+  int acc = 0;
+  for (int i = 0; i < 6; i++) {
+    int v = data[i] * gain + 13;
+    if (v > 40) acc += v;
+    else acc -= v / 3;
+    out[i] = acc;
+  }
+  return acc;
+}
+"""
+
+BENCH = Testbench(args=[4], arrays={"data": [3, 9, 2, 8, 1, 7]})
+
+
+@pytest.fixture(scope="module")
+def component():
+    return TaoFlow().obfuscate(SOURCE, "kernel")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return TaoFlow().synthesize_baseline(SOURCE, "kernel")
+
+
+class TestFlowOutputs:
+    def test_design_is_obfuscated(self, component):
+        assert component.design.is_obfuscated
+        assert component.design.obfuscated_constants
+        assert component.design.masked_branches
+        assert component.design.block_variants
+
+    def test_key_config_consistent(self, component):
+        config = component.design.key_config
+        assert config.working_key_bits == component.working_key_bits
+        assert config.correct_working_key == component.correct_working_key
+        assert len(config.branch_bits) == component.apportionment.num_branches
+
+    def test_working_key_from_locking_key(self, component):
+        derived = component.working_key_for(component.locking_key)
+        assert derived == component.correct_working_key
+
+    def test_flow_is_deterministic(self):
+        a = TaoFlow().obfuscate(SOURCE, "kernel")
+        b = TaoFlow().obfuscate(SOURCE, "kernel")
+        assert a.correct_working_key == b.correct_working_key
+        assert a.locking_key.bits == b.locking_key.bits
+
+    def test_explicit_locking_key_used(self):
+        key = LockingKey.random(random.Random(99))
+        component = TaoFlow().obfuscate(SOURCE, "kernel", locking_key=key)
+        assert component.locking_key.bits == key.bits
+
+    def test_convenience_api(self):
+        component = obfuscate_source(SOURCE, "kernel")
+        assert component.design.is_obfuscated
+
+
+class TestFunctionalBehaviour:
+    def test_correct_key_unlocks(self, component):
+        outcome = run_testbench(
+            component.design, BENCH, working_key=component.correct_working_key
+        )
+        assert outcome.matches
+
+    def test_latency_matches_baseline(self, component, baseline):
+        obf = run_testbench(
+            component.design, BENCH, working_key=component.correct_working_key
+        )
+        base = run_testbench(baseline, BENCH)
+        assert obf.cycles == base.cycles  # §4.2: no performance overhead
+
+    def test_wrong_keys_corrupt(self, component):
+        rng = random.Random(17)
+        good = run_testbench(
+            component.design, BENCH, working_key=component.correct_working_key
+        )
+        corrupted = 0
+        for __ in range(8):
+            key = LockingKey.random(rng)
+            working = component.working_key_for(key)
+            outcome = run_testbench(
+                component.design, BENCH, working_key=working, max_cycles=8 * good.cycles
+            )
+            if not outcome.matches:
+                corrupted += 1
+        assert corrupted == 8
+
+    def test_aes_scheme_end_to_end(self):
+        component = TaoFlow(key_scheme="aes").obfuscate(SOURCE, "kernel")
+        outcome = run_testbench(
+            component.design,
+            BENCH,
+            working_key=component.working_key_for(component.locking_key),
+        )
+        assert outcome.matches
+        wrong = LockingKey.random(random.Random(5))
+        bad = run_testbench(
+            component.design,
+            BENCH,
+            working_key=component.working_key_for(wrong),
+            max_cycles=8 * outcome.cycles,
+        )
+        assert not bad.matches
+
+
+class TestOverheadShape:
+    def test_area_overhead_positive_and_bounded(self, component, baseline):
+        base_area = estimate_area(baseline).total
+        obf_area = estimate_area(component.design).total
+        assert 1.0 < obf_area / base_area < 3.0
+
+    def test_branch_only_nearly_free(self, baseline):
+        params = ObfuscationParameters(
+            obfuscate_constants=False, obfuscate_dfg=False
+        )
+        component = TaoFlow(params=params).obfuscate(SOURCE, "kernel")
+        ratio = estimate_area(component.design).total / estimate_area(baseline).total
+        assert ratio < 1.02  # paper: "practically no area impact"
+
+    def test_frequency_not_increased(self, component, baseline):
+        base = estimate_timing(baseline).frequency_mhz
+        obf = estimate_timing(component.design).frequency_mhz
+        assert obf <= base
+
+    def test_more_block_bits_more_area(self, baseline):
+        areas = []
+        for bits in (1, 4):
+            params = ObfuscationParameters(
+                obfuscate_constants=False,
+                obfuscate_branches=False,
+                block_bits=bits,
+                variant_diversity="selector",
+            )
+            component = TaoFlow(params=params).obfuscate(SOURCE, "kernel")
+            areas.append(estimate_area(component.design).total)
+        assert areas[1] >= areas[0]  # §4.2: overhead ∝ key bits per block
+
+
+class TestValidationCampaign:
+    def test_small_campaign(self, component):
+        report = validate_component(component, [BENCH], n_keys=12, seed=3)
+        assert report.correct_key_ok
+        assert report.wrong_keys_all_corrupt
+        assert 0.0 < report.average_hamming <= 1.0
+        assert report.n_keys == 12
+        assert len(report.trials) == 12
+
+    def test_trials_have_key_metadata(self, component):
+        report = validate_component(component, [BENCH], n_keys=5, seed=4)
+        assert report.trials[0].is_correct_key
+        assert all(not t.is_correct_key for t in report.trials[1:])

@@ -1,0 +1,147 @@
+"""Unit tests for key apportionment (Eq. 1) and locking keys."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_c
+from repro.opt import optimize_module
+from repro.tao.key import (
+    KeyApportionment,
+    LockingKey,
+    ObfuscationParameters,
+    apportion_keys,
+    extractable_constants,
+)
+
+
+def analyzed(source, top="f", params=None):
+    module = compile_c(source)
+    optimize_module(module)
+    return apportion_keys(module.function(top), params or ObfuscationParameters())
+
+
+BRANCHY = """
+int f(int a, int b) {
+  int r = 0;
+  if (a > 10) r = a * 37;
+  else if (b > 20) r = b * 53;
+  for (int i = 0; i < 8; i++) r += i;
+  return r;
+}
+"""
+
+
+class TestEquation1:
+    def test_working_key_matches_equation(self):
+        apportionment = analyzed(BRANCHY)
+        assert apportionment.working_key_bits == apportionment.equation_1()
+
+    def test_components(self):
+        params = ObfuscationParameters()
+        apportionment = analyzed(BRANCHY, params=params)
+        expected = (
+            apportionment.num_branches * params.branch_bits
+            + apportionment.num_constants * params.constant_width
+            + apportionment.num_blocks * params.block_bits
+        )
+        assert apportionment.working_key_bits == expected
+
+    def test_branch_count(self):
+        apportionment = analyzed(BRANCHY)
+        # two ifs + one loop condition
+        assert apportionment.num_branches == 3
+
+    def test_constant_magnitude_filter(self):
+        strict = analyzed(
+            BRANCHY, params=ObfuscationParameters(min_constant_magnitude=2)
+        )
+        lax = analyzed(
+            BRANCHY, params=ObfuscationParameters(min_constant_magnitude=0)
+        )
+        assert strict.num_constants < lax.num_constants
+
+    def test_custom_constant_width(self):
+        narrow = analyzed(BRANCHY, params=ObfuscationParameters(constant_width=16))
+        wide = analyzed(BRANCHY, params=ObfuscationParameters(constant_width=64))
+        delta = wide.working_key_bits - narrow.working_key_bits
+        assert delta == narrow.num_constants * 48
+
+    def test_block_bits_scale(self):
+        small = analyzed(BRANCHY, params=ObfuscationParameters(block_bits=2))
+        large = analyzed(BRANCHY, params=ObfuscationParameters(block_bits=6))
+        assert (
+            large.working_key_bits - small.working_key_bits
+            == small.num_blocks * 4
+        )
+
+    def test_disabled_techniques_zero_out(self):
+        params = ObfuscationParameters(
+            obfuscate_constants=False,
+            obfuscate_branches=False,
+            obfuscate_dfg=False,
+        )
+        apportionment = analyzed(BRANCHY, params=params)
+        assert apportionment.working_key_bits == 0
+
+
+class TestLayout:
+    def test_slices_are_disjoint_and_ordered(self):
+        apportionment = analyzed(BRANCHY)
+        used: set[int] = set()
+        for bit in apportionment.branch_bit_of.values():
+            assert bit not in used
+            used.add(bit)
+        for index in range(apportionment.num_constants):
+            offset = apportionment.constant_offset_of[index]
+            span = set(range(offset, offset + 32))
+            assert not (span & used)
+            used |= span
+        for offset, width in apportionment.block_slice_of.values():
+            span = set(range(offset, offset + width))
+            assert not (span & used)
+            used |= span
+        assert used == set(range(apportionment.working_key_bits))
+
+    def test_extractable_constants_positions_valid(self):
+        module = compile_c(BRANCHY)
+        optimize_module(module)
+        func = module.function("f")
+        from repro.ir.values import Constant
+
+        for block_name, inst_uid, position in extractable_constants(func):
+            inst = next(i for i in func.blocks[block_name].instructions if i.uid == inst_uid)
+            assert isinstance(inst.operands[position], Constant)
+            assert abs(inst.operands[position].value) >= 2
+
+
+class TestLockingKey:
+    def test_random_is_deterministic_per_seed(self):
+        a = LockingKey.random(random.Random(42))
+        b = LockingKey.random(random.Random(42))
+        assert a.bits == b.bits
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            LockingKey(bits=1 << 256, width=256)
+
+    def test_bit_indexing_wraps(self):
+        key = LockingKey(bits=0b1, width=256)
+        assert key.bit(0) == 1
+        assert key.bit(256) == 1  # wraps modulo width
+        assert key.bit(1) == 0
+
+    def test_to_bytes_length(self):
+        key = LockingKey.random(random.Random(0))
+        assert len(key.to_bytes()) == 32
+
+    def test_hamming_distance(self):
+        a = LockingKey(bits=0b1111, width=256)
+        b = LockingKey(bits=0b0101, width=256)
+        assert a.hamming_distance(b) == 2
+
+    @given(st.integers(min_value=0, max_value=2**256 - 1))
+    def test_property_roundtrip_bytes(self, bits):
+        key = LockingKey(bits=bits, width=256)
+        assert int.from_bytes(key.to_bytes(), "big") == bits

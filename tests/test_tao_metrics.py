@@ -1,0 +1,80 @@
+"""Unit tests for the security-validation metrics module."""
+
+import random
+
+import pytest
+
+from repro.sim import Testbench
+from repro.tao import LockingKey, TaoFlow
+from repro.tao.metrics import output_corruptibility, validate_component
+
+SOURCE = """
+int kernel(int seed, int out[4]) {
+  int acc = seed * 21 + 4;
+  for (int i = 0; i < 4; i++) {
+    if (acc % 2 == 0) acc = acc / 2 + 3;
+    else acc = acc * 3 - 1;
+    out[i] = acc;
+  }
+  return acc;
+}
+"""
+
+BENCH = Testbench(args=[7])
+
+
+@pytest.fixture(scope="module")
+def component():
+    return TaoFlow().obfuscate(SOURCE, "kernel")
+
+
+class TestValidateComponent:
+    def test_first_trial_is_correct_key(self, component):
+        report = validate_component(component, [BENCH], n_keys=6)
+        assert report.trials[0].is_correct_key
+        assert report.trials[0].output_matches
+        assert report.trials[0].hamming_fraction == 0.0
+
+    def test_report_bounds(self, component):
+        report = validate_component(component, [BENCH], n_keys=8)
+        assert 0.0 <= report.min_hamming <= report.average_hamming
+        assert report.average_hamming <= report.max_hamming <= 1.0
+        assert report.baseline_cycles > 0
+
+    def test_multiple_workloads_aggregate(self, component):
+        benches = [BENCH, Testbench(args=[11])]
+        report = validate_component(component, benches, n_keys=5)
+        assert report.correct_key_ok
+        assert report.wrong_keys_all_corrupt
+
+    def test_keys_distinct(self, component):
+        report = validate_component(component, [BENCH], n_keys=10)
+        bits = [t.locking_key.bits for t in report.trials]
+        assert len(set(bits)) == len(bits)
+
+    def test_explicit_cycle_cap_respected(self, component):
+        report = validate_component(component, [BENCH], n_keys=4, max_cycles=200)
+        for trial in report.trials[1:]:
+            assert trial.cycles <= 200
+
+    def test_deterministic_per_seed(self, component):
+        a = validate_component(component, [BENCH], n_keys=5, seed=3)
+        b = validate_component(component, [BENCH], n_keys=5, seed=3)
+        assert [t.hamming_fraction for t in a.trials] == [
+            t.hamming_fraction for t in b.trials
+        ]
+
+
+class TestOutputCorruptibility:
+    def test_zero_for_correct_key(self, component):
+        value = output_corruptibility(component, BENCH, [component.locking_key])
+        assert value == 0.0
+
+    def test_positive_for_wrong_keys(self, component):
+        rng = random.Random(2)
+        wrong = [LockingKey.random(rng) for _ in range(3)]
+        value = output_corruptibility(component, BENCH, wrong, max_cycles=50_000)
+        assert 0.0 < value <= 1.0
+
+    def test_empty_key_list(self, component):
+        assert output_corruptibility(component, BENCH, []) == 0.0

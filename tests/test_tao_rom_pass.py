@@ -1,0 +1,171 @@
+"""Tests for the ROM-content obfuscation extension."""
+
+import random
+import re
+
+import pytest
+
+from repro.rtl import emit_verilog, estimate_area
+from repro.sim import Testbench, run_testbench
+from repro.tao import LockingKey, ObfuscationParameters, TaoFlow
+from repro.tao.rom_pass import eligible_roms
+
+SECRET_TABLE = [113, 207, 45, 88, 162, 31, 250, 9]
+
+SOURCE = f"""
+int lookup_mix(int x, int out[8]) {{
+  int table[8] = {{{", ".join(str(v) for v in SECRET_TABLE)}}};
+  int acc = 0;
+  for (int i = 0; i < 8; i++) {{
+    acc += table[i] * x;
+    out[i] = acc;
+  }}
+  return acc;
+}}
+"""
+
+BENCH = Testbench(args=[3])
+
+PARAMS = ObfuscationParameters(obfuscate_roms=True)
+
+
+@pytest.fixture(scope="module")
+def component():
+    return TaoFlow(params=PARAMS).obfuscate(SOURCE, "lookup_mix")
+
+
+class TestEligibility:
+    def test_const_table_eligible(self):
+        from repro.frontend import compile_c
+        from repro.opt import optimize_module
+
+        module = compile_c(SOURCE)
+        optimize_module(module)
+        roms = eligible_roms(module.function("lookup_mix"))
+        assert any(name.startswith("table") for name in roms)
+
+    def test_written_array_not_eligible(self):
+        from repro.frontend import compile_c
+        from repro.opt import optimize_module
+
+        source = """
+        int f(int x) {
+          int buf[4] = {1, 2, 3, 4};
+          buf[0] = x;
+          return buf[0] + buf[1];
+        }
+        """
+        module = compile_c(source)
+        optimize_module(module)
+        assert eligible_roms(module.function("f")) == []
+
+    def test_param_array_not_eligible(self):
+        from repro.frontend import compile_c
+        from repro.opt import optimize_module
+
+        module = compile_c("int f(int a[4]) { return a[0]; }")
+        optimize_module(module)
+        assert eligible_roms(module.function("f")) == []
+
+
+class TestKeyAccounting:
+    def test_rom_slice_in_working_key(self, component):
+        apportionment = component.apportionment
+        assert apportionment.num_roms == 1
+        assert apportionment.working_key_bits == apportionment.equation_1()
+        # The ROM slice is the last C bits of the layout.
+        (offset, width) = next(iter(apportionment.rom_slice_of.values()))
+        assert width == 32
+        assert offset + width == apportionment.working_key_bits
+
+    def test_disabled_by_default(self):
+        component = TaoFlow().obfuscate(SOURCE, "lookup_mix")
+        assert not component.design.obfuscated_roms
+        assert component.apportionment.num_roms == 0
+
+
+class TestBehaviour:
+    def test_correct_key_unlocks(self, component):
+        outcome = run_testbench(
+            component.design, BENCH, working_key=component.correct_working_key
+        )
+        assert outcome.matches
+
+    def test_rom_only_wrong_slice_corrupts(self, component):
+        (offset, width) = next(iter(component.apportionment.rom_slice_of.values()))
+        wrong = component.correct_working_key ^ (0x5 << offset)
+        good = run_testbench(
+            component.design, BENCH, working_key=component.correct_working_key
+        )
+        bad = run_testbench(
+            component.design,
+            BENCH,
+            working_key=wrong,
+            max_cycles=8 * good.cycles,
+        )
+        assert not bad.matches
+
+    def test_wrong_locking_keys_corrupt(self, component):
+        rng = random.Random(4)
+        good = run_testbench(
+            component.design, BENCH, working_key=component.correct_working_key
+        )
+        for _ in range(5):
+            key = LockingKey.random(rng)
+            outcome = run_testbench(
+                component.design,
+                BENCH,
+                working_key=component.working_key_for(key),
+                max_cycles=8 * good.cycles,
+            )
+            assert not outcome.matches
+
+    def test_golden_model_unchanged(self, component):
+        # The IR initializer keeps the plaintext: golden execution of the
+        # obfuscated module equals plain software semantics.
+        outcome = run_testbench(
+            component.design, BENCH, working_key=component.correct_working_key
+        )
+        expected = 0
+        acc = 0
+        for v in SECRET_TABLE:
+            acc += v * 3
+        expected = acc
+        assert outcome.golden.return_value == expected
+
+
+class TestRtlAndArea:
+    def test_plaintext_absent_from_rtl(self, component):
+        text = emit_verilog(component.design)
+        literals = {int(m) for m in re.findall(r"32'd(\d+)", text)}
+        leaked = [v for v in SECRET_TABLE if v in literals]
+        assert not leaked
+
+    def test_read_port_xor_emitted(self, component):
+        text = emit_verilog(component.design)
+        (offset, width) = next(iter(component.apportionment.rom_slice_of.values()))
+        assert f"working_key[{offset + 31}:{offset}]" in text
+
+    def test_area_overhead_is_one_xor_bank(self):
+        base = TaoFlow(
+            params=ObfuscationParameters(
+                obfuscate_constants=False,
+                obfuscate_branches=False,
+                obfuscate_dfg=False,
+                obfuscate_roms=False,
+            )
+        ).obfuscate(SOURCE, "lookup_mix")
+        ext = TaoFlow(
+            params=ObfuscationParameters(
+                obfuscate_constants=False,
+                obfuscate_branches=False,
+                obfuscate_dfg=False,
+                obfuscate_roms=True,
+            )
+        ).obfuscate(SOURCE, "lookup_mix")
+        delta = (
+            estimate_area(ext.design).total - estimate_area(base.design).total
+        )
+        from repro.hls.resources import xor_area
+
+        assert delta == pytest.approx(xor_area(32))
