@@ -6,9 +6,11 @@ with all three obfuscations enabled the paper reports a 62.2 % average
 over the five benchmarks.
 
 Our reproduction measures the same quantity over a smaller key sample
-(pure-Python simulation).  The expected *shape* is a substantial
-corruption fraction on every benchmark — wrong keys must not produce
-near-correct outputs.
+(pure-Python simulation), on the campaign engine's primitives: wrong
+keys come from the bounded, deduplicating generator in
+``repro.tao.metrics`` and each trial reuses the memoized golden model,
+so the software reference is interpreted once per workload rather than
+once per key.
 """
 
 import os
@@ -16,9 +18,7 @@ import random
 
 import pytest
 
-from repro.sim import run_testbench
-from repro.sim.testbench import hamming_distance_fraction
-from repro.tao import LockingKey
+from repro.tao.metrics import UNCAPPED_CYCLES, generate_wrong_keys, run_key_trial
 
 BENCHMARKS = ["gsm", "adpcm", "sobel", "backprop", "viterbi"]
 N_WRONG_KEYS = 30 if os.environ.get("REPRO_FULL_VALIDATION") else 8
@@ -26,22 +26,13 @@ N_WRONG_KEYS = 30 if os.environ.get("REPRO_FULL_VALIDATION") else 8
 
 def corruptibility(component, bench, n_keys, seed=23):
     rng = random.Random(seed)
-    good = run_testbench(
-        component.design, bench, working_key=component.correct_working_key
-    )
-    assert good.matches
-    fractions = []
-    for __ in range(n_keys):
-        key = LockingKey.random(rng)
-        outcome = run_testbench(
-            component.design,
-            bench,
-            working_key=component.working_key_for(key),
-            max_cycles=6 * good.cycles,
-        )
-        fractions.append(
-            hamming_distance_fraction(outcome.golden_bits, outcome.simulated_bits)
-        )
+    good = run_key_trial(component, [bench], component.locking_key, UNCAPPED_CYCLES)
+    assert good.output_matches
+    wrong = generate_wrong_keys(component.locking_key, n_keys, rng)
+    trials = [
+        run_key_trial(component, [bench], key, 6 * good.cycles) for key in wrong
+    ]
+    fractions = [trial.hamming_fraction for trial in trials]
     return sum(fractions) / len(fractions), fractions
 
 

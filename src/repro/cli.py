@@ -8,10 +8,14 @@ Usage (after ``pip install -e .``)::
     python -m repro table1
     python -m repro figure6
     python -m repro validate --benchmark sobel --keys 20
+    python -m repro campaign --benchmarks all --keys 20 --jobs 4 -o out.json
 
 ``obfuscate`` writes the obfuscated Verilog, the locking key, and a
 JSON key manifest; ``analyze`` prints the key apportionment (Eq. 1)
-without synthesizing.
+without synthesizing; ``campaign`` runs the parallel validation engine
+over benchmark × parameter-config units and emits the unified
+``repro.campaign/1`` JSON schema (consumed by
+``repro.evaluation.report``).
 """
 
 from __future__ import annotations
@@ -161,14 +165,99 @@ def cmd_figure6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_size_error(keys: int, workloads: int = 1) -> Optional[str]:
+    """Usage-level mirror of ``validate_component``'s anti-vacuity checks."""
+    if keys < 2:
+        return f"--keys {keys}: need the correct key plus at least one wrong key"
+    if workloads < 1:
+        return f"--workloads {workloads}: need at least one workload"
+    return None
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.benchsuite import benchmark_names
     from repro.evaluation import format_validation, validate_benchmark
     from repro.evaluation.validation import ValidationSummary
 
+    error = _campaign_size_error(args.keys)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    known = benchmark_names()
+    if args.benchmark not in known:
+        print(f"unknown benchmark: {args.benchmark}", file=sys.stderr)
+        print(f"available: {', '.join(known)}", file=sys.stderr)
+        return 2
     report = validate_benchmark(args.benchmark, n_keys=args.keys)
     summary = ValidationSummary(reports={args.benchmark: report})
     print(format_validation(summary))
     return 0 if report.correct_key_ok and report.wrong_keys_all_corrupt else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.benchsuite import benchmark_names
+    from repro.evaluation.report import format_campaign
+    from repro.runtime.campaign import (
+        PRESET_CONFIGS,
+        CampaignSpec,
+        resolve_jobs,
+        run_campaign,
+    )
+
+    error = _campaign_size_error(args.keys, args.workloads)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 0:
+        print(f"--jobs {args.jobs}: cannot be negative", file=sys.stderr)
+        return 2
+    configs = tuple(dict.fromkeys(args.config or ["default"]))
+    unknown_configs = [c for c in configs if c not in PRESET_CONFIGS]
+    if unknown_configs:
+        print(
+            f"unknown config(s): {', '.join(unknown_configs)}", file=sys.stderr
+        )
+        print(f"available: {', '.join(PRESET_CONFIGS)}", file=sys.stderr)
+        return 2
+    known = benchmark_names()
+    if args.benchmarks.strip().lower() == "all":
+        selected = known
+    else:
+        selected = list(
+            dict.fromkeys(
+                name.strip() for name in args.benchmarks.split(",") if name.strip()
+            )
+        )
+        unknown = [name for name in selected if name not in known]
+        if unknown or not selected:
+            problem = (
+                f"unknown benchmark(s): {', '.join(unknown)}"
+                if unknown
+                else f"no benchmarks selected from {args.benchmarks!r}"
+            )
+            print(problem, file=sys.stderr)
+            print(f"available: {', '.join(known)}", file=sys.stderr)
+            return 2
+    spec = CampaignSpec(
+        benchmarks=tuple(selected),
+        configs=configs,
+        n_keys=args.keys,
+        n_workloads=args.workloads,
+        seed=args.seed,
+        jobs=resolve_jobs(args.jobs),
+        key_scheme=args.key_scheme,
+    )
+    result = run_campaign(spec, collect_cache_stats=args.cache_stats)
+    if args.output is not None:
+        path = result.write(args.output, include_trials=not args.no_trials)
+        print(f"wrote {path}")
+    print(format_campaign(result))
+    print(f"elapsed {result.elapsed_seconds:.1f}s ({spec.jobs} worker(s))")
+    passed = all(
+        unit.report.correct_key_ok and unit.report.wrong_keys_all_corrupt
+        for unit in result.units
+    )
+    return 0 if passed else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,6 +291,47 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--benchmark", default="sobel")
     validate.add_argument("--keys", type=int, default=10)
     validate.set_defaults(func=cmd_validate)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="parallel validation-campaign engine (JSON output)"
+    )
+    campaign.add_argument(
+        "--benchmarks",
+        default="all",
+        help='comma-separated benchmark names, or "all"',
+    )
+    campaign.add_argument(
+        "--config",
+        action="append",
+        help="parameter config(s) to sweep; see repro.runtime.campaign."
+        "PRESET_CONFIGS (repeatable; default: default)",
+    )
+    campaign.add_argument("--keys", type=int, default=20)
+    campaign.add_argument("--workloads", type=int, default=1)
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes; 0 or omitted = auto "
+        "(REPRO_JOBS, else cpu count, max 8)",
+    )
+    campaign.add_argument(
+        "--key-scheme", choices=("replication", "aes"), default="replication"
+    )
+    campaign.add_argument("-o", "--output", type=Path, default=None)
+    campaign.add_argument(
+        "--no-trials",
+        action="store_true",
+        help="omit per-key trial records from the JSON output",
+    )
+    campaign.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="include summed per-unit cache-counter deltas in the JSON "
+        "(process-layout-dependent; nested key workers are uncounted)",
+    )
+    campaign.set_defaults(func=cmd_campaign)
 
     return parser
 

@@ -22,7 +22,12 @@ from repro.evaluation.overhead import (
     measure_frequency,
     measure_latency,
 )
-from repro.evaluation.report import generate_report, write_report
+from repro.evaluation.report import (
+    format_campaign,
+    generate_report,
+    render_campaign_file,
+    write_report,
+)
 from repro.evaluation.table1 import (
     PAPER_TABLE1,
     Table1Row,
@@ -49,6 +54,7 @@ __all__ = [
     "Table1Row",
     "ValidationSummary",
     "characterize_benchmark",
+    "format_campaign",
     "format_figure6",
     "format_frequency_rows",
     "format_keymgmt",
@@ -63,6 +69,7 @@ __all__ = [
     "measure_frequency",
     "measure_keymgmt",
     "measure_latency",
+    "render_campaign_file",
     "validate_benchmark",
     "validate_suite",
     "write_report",

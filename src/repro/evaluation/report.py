@@ -1,13 +1,20 @@
 """Combined-report generator: runs the whole evaluation and renders a
 single markdown document (the machine-generated companion to
 EXPERIMENTS.md).
+
+Also the consumer of the unified campaign JSON (``repro.campaign/1``,
+see :mod:`repro.runtime.results`): :func:`format_campaign` renders a
+:class:`~repro.runtime.results.CampaignResult` — produced by
+``repro campaign -o results.json`` or :func:`run_campaign` — as a
+markdown section, and :func:`render_campaign_file` does the same
+straight from a JSON file on disk.
 """
 
 from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.evaluation.figure6 import format_figure6, generate_figure6
 from repro.evaluation.keymgmt_eval import format_keymgmt, generate_keymgmt
@@ -19,11 +26,58 @@ from repro.evaluation.overhead import (
 from repro.evaluation.table1 import format_table1, generate_table1
 from repro.evaluation.validation import format_validation, validate_suite
 
+if TYPE_CHECKING:
+    from repro.runtime.results import CampaignResult
+
 BENCHMARK_NAMES = ["gsm", "adpcm", "sobel", "backprop", "viterbi"]
 
 
-def generate_report(n_validation_keys: int = 10) -> str:
-    """Run every experiment and return the markdown report text."""
+def format_campaign(result: "CampaignResult") -> str:
+    """Render a campaign result (the unified JSON schema) as markdown."""
+    lines = [
+        "| benchmark | config | keys | correct ok | wrong corrupt | "
+        "avg HD | min HD | max HD | latency-chg |",
+        "|---|---|---:|---|---|---:|---:|---:|---:|",
+    ]
+    for unit in result.units:
+        report = unit.report
+        lines.append(
+            f"| {unit.benchmark} | {unit.config} | {report.n_keys} "
+            f"| {report.correct_key_ok} | {report.wrong_keys_all_corrupt} "
+            f"| {100 * report.average_hamming:.1f}% "
+            f"| {100 * report.min_hamming:.1f}% "
+            f"| {100 * report.max_hamming:.1f}% "
+            f"| {report.latency_changed_keys} |"
+        )
+    reports = [u.report for u in result.units]
+    if reports:
+        average = sum(r.average_hamming for r in reports) / len(reports)
+        lines.append(
+            f"\ncampaign average HD {100 * average:.1f}% over "
+            f"{len(reports)} unit(s)"
+        )
+    if result.cache:
+        golden = result.cache.get("golden", {})
+        lines.append(
+            f"golden-model cache: {golden.get('hits', 0)} hits / "
+            f"{golden.get('misses', 0)} misses"
+        )
+    return "\n".join(lines)
+
+
+def render_campaign_file(json_path: Path | str) -> str:
+    """Load a ``repro campaign`` JSON file and render it as markdown."""
+    from repro.runtime.results import CampaignResult
+
+    return format_campaign(CampaignResult.load(json_path))
+
+
+def generate_report(n_validation_keys: int = 10, jobs: int = 1) -> str:
+    """Run every experiment and return the markdown report text.
+
+    ``jobs`` parallelizes the validation campaign (the dominant cost)
+    across worker processes without changing its results.
+    """
     started = time.time()
     sections = [
         "# TAO reproduction — machine-generated evaluation report",
@@ -63,7 +117,7 @@ def generate_report(n_validation_keys: int = 10) -> str:
         "",
         f"## V1/V2 — key validation ({n_validation_keys} keys per benchmark)",
         "```",
-        format_validation(validate_suite(n_keys=n_validation_keys)),
+        format_validation(validate_suite(n_keys=n_validation_keys, jobs=jobs)),
         "```",
         "",
         f"_Generated in {time.time() - started:.0f}s._",
@@ -73,9 +127,9 @@ def generate_report(n_validation_keys: int = 10) -> str:
 
 
 def write_report(
-    path: Path | str, n_validation_keys: int = 10
+    path: Path | str, n_validation_keys: int = 10, jobs: int = 1
 ) -> Path:
     """Generate the report and write it to ``path``."""
     path = Path(path)
-    path.write_text(generate_report(n_validation_keys))
+    path.write_text(generate_report(n_validation_keys, jobs=jobs))
     return path

@@ -1,0 +1,58 @@
+"""Campaign-execution runtime: caches, process fan-out and the unified
+results schema.
+
+* :mod:`repro.runtime.cache` — process-wide memoization of golden
+  interpreter runs and front-end compilations;
+* :mod:`repro.runtime.campaign` — the parallel campaign engine
+  (``CampaignSpec`` / ``run_campaign`` / ``parallel_map``);
+* :mod:`repro.runtime.results` — the ``repro.campaign/1`` JSON schema.
+
+Only the cache layer is imported eagerly; campaign and results symbols
+are re-exported lazily because they sit above the ``tao`` layer in the
+import graph.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cache import (
+    FRONTEND_CACHE,
+    GOLDEN_CACHE,
+    CacheStats,
+    FrontEndCache,
+    GoldenCache,
+    cache_stats,
+    reset_caches,
+)
+
+_LAZY = {
+    "CampaignSpec": "repro.runtime.campaign",
+    "PRESET_CONFIGS": "repro.runtime.campaign",
+    "derive_seed": "repro.runtime.campaign",
+    "parallel_map": "repro.runtime.campaign",
+    "resolve_jobs": "repro.runtime.campaign",
+    "run_campaign": "repro.runtime.campaign",
+    "CampaignResult": "repro.runtime.results",
+    "CampaignUnit": "repro.runtime.results",
+    "report_from_dict": "repro.runtime.results",
+    "report_to_dict": "repro.runtime.results",
+}
+
+__all__ = [
+    "CacheStats",
+    "FrontEndCache",
+    "FRONTEND_CACHE",
+    "GoldenCache",
+    "GOLDEN_CACHE",
+    "cache_stats",
+    "reset_caches",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

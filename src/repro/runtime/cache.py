@@ -1,0 +1,257 @@
+"""Process-wide memoization caches for the campaign engine.
+
+Two hot paths dominate every validation campaign:
+
+* the golden software interpretation of a ``(design, testbench)`` pair,
+  which is key-independent and therefore identical for all 100 locking
+  keys the §4.3 campaign simulates — :class:`GoldenCache` memoizes it so
+  the interpreter runs exactly once per pair;
+* the front-end compilation + optimization pipeline, which
+  ``TaoFlow.synthesize_pair`` used to run twice on the same source
+  (baseline + obfuscated) — :class:`FrontEndCache` memoizes the
+  optimized module keyed on the SHA-256 of the source text and hands
+  out deep copies so callers may mutate freely.
+
+Cache keys:
+
+* golden results: ``(id(module), func name, testbench fingerprint)``
+  where the fingerprint covers the scalar args, the array contents and
+  the observed-array selection.  A weak reference on the module purges
+  its entries when the module is garbage collected, so a recycled
+  ``id()`` can never alias a stale entry.
+* front-end modules: ``sha256(source)``.  The module name is cosmetic
+  and is re-applied to each copy, so ``synthesize_pair``'s baseline and
+  obfuscated compilations share one cache entry.
+
+The module-level singletons (:data:`GOLDEN_CACHE`,
+:data:`FRONTEND_CACHE`) are per process; campaign workers each warm
+their own.  :func:`reset_caches` clears both (used by tests and by
+long-lived servers that want a cold start).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Hashable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.hls.design import FsmdDesign
+    from repro.ir.function import Module
+    from repro.sim.interpreter import ExecutionResult
+    from repro.sim.testbench import Testbench
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters exposed for tests and campaign telemetry."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+def testbench_fingerprint(
+    bench: "Testbench", observed: Sequence[str]
+) -> Hashable:
+    """Value-based identity of a workload (args, arrays, observables)."""
+    return (
+        tuple(bench.args),
+        tuple(sorted((name, tuple(vals)) for name, vals in bench.arrays.items())),
+        tuple(observed),
+    )
+
+
+def _copy_execution_result(result: "ExecutionResult") -> "ExecutionResult":
+    """Defensive copy so callers cannot mutate the cached master."""
+    from repro.sim.interpreter import ExecutionResult
+
+    return ExecutionResult(
+        return_value=result.return_value,
+        arrays={name: list(vals) for name, vals in result.arrays.items()},
+        instructions_executed=result.instructions_executed,
+        block_trace=list(result.block_trace),
+    )
+
+
+class GoldenCache:
+    """Memoizes golden interpreter executions per ``(design, testbench)``.
+
+    The golden model is key-independent: a validation campaign that
+    simulates N locking keys over the same workload needs the software
+    reference exactly once.  Entries also store the flattened golden
+    output bit vector so the Hamming baseline is not recomputed per key.
+
+    Entries are guarded two ways: a weak reference purges them when
+    the module is garbage collected (so a recycled ``id()`` cannot
+    alias a stale entry), and every hit re-checks a checksum of the
+    module's printed IR (~0.2 ms, versus tens of ms per golden run) so
+    in-place mutation of a live module — an optimization or
+    obfuscation pass run after a simulation — invalidates its entries
+    instead of serving stale golden outputs.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[
+            Hashable, tuple[str, "ExecutionResult", list[int]]
+        ] = {}
+        self._watched: dict[int, weakref.ref] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._watched.clear()
+        self.stats.reset()
+
+    def golden_for(
+        self,
+        design: "FsmdDesign",
+        bench: "Testbench",
+        observed: Sequence[str],
+    ) -> tuple["ExecutionResult", list[int]]:
+        """Golden execution + output bit vector, computed at most once."""
+        module = design.module
+        func_name = design.func.name
+        key = (id(module), func_name, testbench_fingerprint(bench, observed))
+        checksum = self._module_checksum(module)
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != checksum:
+            self.stats.misses += 1
+            golden, bits = self._compute(module, func_name, bench, observed)
+            entry = (checksum, golden, bits)
+            self._entries[key] = entry
+            self._watch(module)
+        else:
+            self.stats.hits += 1
+        _checksum, golden, bits = entry
+        return _copy_execution_result(golden), list(bits)
+
+    @staticmethod
+    def _module_checksum(module: "Module") -> str:
+        # str(module) prints local arrays as bare "alloc" lines, so hash
+        # initializer contents too — the interpreter reads them, and a
+        # ROM-mutating pass must invalidate the cached golden outputs.
+        hasher = hashlib.sha256(str(module).encode("utf-8"))
+        for func in module:
+            for array in func.arrays.values():
+                if array.initializer is not None:
+                    hasher.update(
+                        f"{func.name}.{array.name}:{tuple(array.initializer)}".encode(
+                            "utf-8"
+                        )
+                    )
+        return hasher.hexdigest()
+
+    # ------------------------------------------------------------------
+    def _compute(
+        self,
+        module: "Module",
+        func_name: str,
+        bench: "Testbench",
+        observed: Sequence[str],
+    ) -> tuple["ExecutionResult", list[int]]:
+        from repro.sim.interpreter import Interpreter
+        from repro.sim.testbench import output_bit_vector
+
+        golden = Interpreter(module).run(
+            func_name, bench.args, dict(bench.arrays)
+        )
+        bits = output_bit_vector(
+            golden.return_value, golden.arrays, observed, module, func_name
+        )
+        return golden, bits
+
+    def _watch(self, module: "Module") -> None:
+        mid = id(module)
+        if mid not in self._watched:
+            self._watched[mid] = weakref.ref(
+                module, lambda _ref, mid=mid: self._purge(mid)
+            )
+
+    def _purge(self, mid: int) -> None:
+        self._watched.pop(mid, None)
+        for key in [k for k in self._entries if k[0] == mid]:
+            del self._entries[key]
+
+
+class FrontEndCache:
+    """Memoizes front-end compilation keyed on the source text hash.
+
+    Stores the pristine optimized module and returns a deep copy per
+    lookup: the TAO obfuscation passes mutate the IR in place, so the
+    master must never escape.  The requested module name is applied to
+    the copy, letting baseline and obfuscated compilations of the same
+    source share one entry.
+    """
+
+    def __init__(self) -> None:
+        self._modules: dict[str, "Module"] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def clear(self) -> None:
+        self._modules.clear()
+        self.stats.reset()
+
+    @staticmethod
+    def source_key(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def get_or_compile(
+        self,
+        source: str,
+        name: str,
+        compile_fn: Callable[[str, str], "Module"],
+    ) -> "Module":
+        """Return a private copy of the optimized module for ``source``."""
+        key = self.source_key(source)
+        master = self._modules.get(key)
+        if master is None:
+            self.stats.misses += 1
+            master = compile_fn(source, name)
+            self._modules[key] = master
+        else:
+            self.stats.hits += 1
+        module = copy.deepcopy(master)
+        module.name = name
+        return module
+
+
+#: Per-process singletons; campaign workers each warm their own.
+GOLDEN_CACHE = GoldenCache()
+FRONTEND_CACHE = FrontEndCache()
+
+
+def reset_caches() -> None:
+    """Clear both process-wide caches (tests / cold-start hooks)."""
+    GOLDEN_CACHE.clear()
+    FRONTEND_CACHE.clear()
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Snapshot of both caches' counters (campaign telemetry)."""
+    return {
+        "golden": GOLDEN_CACHE.stats.as_dict(),
+        "frontend": FRONTEND_CACHE.stats.as_dict(),
+    }

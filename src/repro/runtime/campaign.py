@@ -1,0 +1,308 @@
+"""Parallel validation-campaign engine (paper §4.3 at scale).
+
+The §4.3 security validation simulates each obfuscated design under
+~100 random locking keys, and Figure-6-style sweeps repeat that over
+benchmark × parameter configurations.  This module turns that shape
+into an explicit engine:
+
+* :class:`CampaignSpec` declares the sweep — benchmarks, named
+  parameter configs (:data:`PRESET_CONFIGS`), key count, workloads and
+  worker count;
+* :func:`run_campaign` executes it, fanning units (benchmark × config)
+  across a :class:`~concurrent.futures.ProcessPoolExecutor` — or, for
+  a single-unit campaign, fanning the individual key trials instead —
+  and returns a :class:`repro.runtime.results.CampaignResult` holding
+  the unified JSON document;
+* :func:`parallel_map` is the shared fan-out primitive (also used by
+  ``repro.tao.metrics.validate_component`` for key-level parallelism).
+
+Determinism contract: every unit's seed is *derived* (SHA-256 of
+``base seed : benchmark : config``), each worker rebuilds its component
+from that seed, and no result depends on scheduling order — so serial
+(``jobs=1``) and parallel runs of the same spec produce byte-identical
+JSON.  The tests assert this.
+
+Workers inherit nothing mutable from the parent: each process warms
+its own :mod:`repro.runtime.cache` singletons (golden interpreter
+results, front-end modules).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, TypeVar
+
+_T = TypeVar("_T")
+
+#: Named parameter configurations for sweeps (mirrors the Figure 6
+#: ablation axes: each obfuscation in isolation plus the full flow).
+PRESET_CONFIGS: dict[str, dict[str, Any]] = {
+    "default": {},
+    "branches-only": {"obfuscate_constants": False, "obfuscate_dfg": False},
+    "constants-only": {"obfuscate_branches": False, "obfuscate_dfg": False},
+    "dfg-only": {"obfuscate_branches": False, "obfuscate_constants": False},
+}
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` env > cpu count (≤8).
+
+    ``None`` and ``0`` both mean "auto" (environment, then cpu count);
+    negative values are a caller error.  A malformed or non-positive
+    ``REPRO_JOBS`` warns and falls back to auto rather than silently
+    fanning out when the user meant to force a worker count.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs={jobs}: worker count cannot be negative")
+    if jobs is not None and jobs > 0:
+        return jobs
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            value = None
+        if value is not None and value > 0:
+            return value
+        if value != 0:  # 0 means auto, same as --jobs 0
+            warnings.warn(
+                f"REPRO_JOBS={env!r} is not a positive integer; "
+                "using auto worker count",
+                stacklevel=2,
+            )
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def derive_seed(base_seed: int, *scope: object) -> int:
+    """Stable per-unit seed: SHA-256 over the base seed and scope labels.
+
+    Independent of execution order and process layout, so serial and
+    parallel campaigns generate identical keys and workloads.
+    """
+    text = ":".join(str(part) for part in (base_seed, *scope))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+# ----------------------------------------------------------------------
+# Generic process fan-out
+# ----------------------------------------------------------------------
+_WORKER_FN: Optional[Callable[[Any, Any], Any]] = None
+_WORKER_SHARED: Any = None
+
+
+def _init_worker(fn: Callable[[Any, Any], Any], shared: Any) -> None:
+    global _WORKER_FN, _WORKER_SHARED
+    _WORKER_FN = fn
+    _WORKER_SHARED = shared
+
+
+def _invoke_worker(item: Any) -> Any:
+    assert _WORKER_FN is not None, "worker pool not initialized"
+    return _WORKER_FN(_WORKER_SHARED, item)
+
+
+def parallel_map(
+    fn: Callable[[Any, _T], Any],
+    items: Iterable[_T],
+    *,
+    shared: Any = None,
+    jobs: int = 1,
+    chunksize: int = 1,
+) -> list[Any]:
+    """Order-preserving map of ``fn(shared, item)`` over worker processes.
+
+    ``fn`` must be a module-level (picklable) function; ``shared`` is
+    pickled once per worker via the pool initializer rather than once
+    per task, which keeps large payloads (an obfuscated component, a
+    testbench list) off the per-task hot path.  With ``jobs <= 1`` or
+    a single item the map runs inline — the semantics are identical
+    either way, which is what makes serial-vs-parallel determinism
+    testable.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(shared, item) for item in items]
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(fn, shared)
+    ) as executor:
+        return list(executor.map(_invoke_worker, items, chunksize=chunksize))
+
+
+# ----------------------------------------------------------------------
+# Campaign spec + engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of one validation campaign.
+
+    ``configs`` names entries of :data:`PRESET_CONFIGS` (or keys of
+    ``extra_configs`` for ad-hoc parameter overrides).  ``jobs`` is an
+    execution knob only: it is deliberately excluded from the
+    serialized spec so parallel and serial runs emit identical JSON.
+    """
+
+    benchmarks: tuple[str, ...]
+    configs: tuple[str, ...] = ("default",)
+    n_keys: int = 20
+    n_workloads: int = 1
+    seed: int = 7
+    jobs: int = 1
+    key_scheme: str = "replication"
+    extra_configs: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
+
+    def config_overrides(self, config: str) -> dict[str, Any]:
+        for name, overrides in self.extra_configs:
+            if name == config:
+                return dict(overrides)
+        if config in PRESET_CONFIGS:
+            return dict(PRESET_CONFIGS[config])
+        raise KeyError(f"unknown campaign config {config!r}")
+
+    def units(self) -> list[tuple[str, str]]:
+        """Deterministic (benchmark, config) enumeration order."""
+        return [(b, c) for b in self.benchmarks for c in self.configs]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmarks": list(self.benchmarks),
+            "configs": list(self.configs),
+            "n_keys": self.n_keys,
+            "n_workloads": self.n_workloads,
+            "seed": self.seed,
+            "key_scheme": self.key_scheme,
+            "extra_configs": {
+                name: dict(overrides) for name, overrides in self.extra_configs
+            },
+        }
+
+
+def _run_unit(shared: Any, task: tuple[str, str]) -> dict[str, Any]:
+    """Worker body: build the component and run one unit's campaign.
+
+    Rebuilds everything from the (deterministic) spec rather than
+    pickling designs across the process boundary; each worker's
+    front-end and golden caches absorb the redundancy.  Returns the
+    unit as a schema dict (plus this unit's cache-counter delta, kept
+    out of the deterministic ``unit`` payload) so results cross
+    process boundaries in the canonical form.
+    """
+    spec_dict, key_parallel_jobs = shared
+    benchmark_name, config = task
+    from repro.benchsuite import get_benchmark
+    from repro.runtime.cache import cache_stats
+    from repro.runtime.results import report_to_dict
+    from repro.tao.flow import TaoFlow
+    from repro.tao.key import ObfuscationParameters
+    from repro.tao.metrics import validate_component
+
+    stats_before = cache_stats()
+    spec = _spec_from_dict(spec_dict)
+    overrides = spec.config_overrides(config)
+    seed = derive_seed(spec.seed, benchmark_name, config)
+    bench = get_benchmark(benchmark_name)
+    params = ObfuscationParameters(**overrides)
+    flow = TaoFlow(params=params, key_scheme=spec.key_scheme)
+    component = flow.obfuscate(bench.source, bench.top)
+    workloads = bench.make_testbenches(seed=seed, count=spec.n_workloads)
+    report = validate_component(
+        component,
+        workloads,
+        n_keys=spec.n_keys,
+        seed=seed,
+        jobs=key_parallel_jobs,
+    )
+    return {
+        "unit": {
+            "benchmark": benchmark_name,
+            "config": config,
+            "params": overrides,
+            "seed": seed,
+            "report": report_to_dict(report),
+        },
+        "cache_delta": _stats_delta(stats_before, cache_stats()),
+    }
+
+
+def _stats_delta(
+    before: dict[str, dict[str, int]], after: dict[str, dict[str, int]]
+) -> dict[str, dict[str, int]]:
+    return {
+        cache: {
+            counter: after[cache][counter] - before[cache].get(counter, 0)
+            for counter in after[cache]
+        }
+        for cache in after
+    }
+
+
+def _spec_from_dict(data: dict[str, Any]) -> CampaignSpec:
+    return CampaignSpec(
+        benchmarks=tuple(data["benchmarks"]),
+        configs=tuple(data["configs"]),
+        n_keys=data["n_keys"],
+        n_workloads=data["n_workloads"],
+        seed=data["seed"],
+        key_scheme=data["key_scheme"],
+        extra_configs=tuple(
+            (name, tuple(sorted(overrides.items())))
+            for name, overrides in data.get("extra_configs", {}).items()
+        ),
+    )
+
+
+def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
+    """Execute ``spec`` and return a :class:`CampaignResult`.
+
+    Fan-out strategy: parallelism is applied across units (each worker
+    runs one benchmark × config), and any worker budget beyond the
+    unit count is handed down as key-level parallelism — a single-unit
+    campaign fans its key trials over every core, and ``--jobs 8``
+    over 2 units gives each unit 4 key workers.  The split uses ceil
+    division, so a budget that does not divide evenly (8 jobs over 5
+    units → 2 key workers each) mildly oversubscribes rather than
+    idling the surplus.  Every layout produces the same JSON as
+    ``jobs=1``.
+
+    ``collect_cache_stats`` attaches the summed per-unit cache-counter
+    deltas (measured inside whichever process ran each unit) to
+    ``result.cache``; the counts are honest under parallelism but
+    process-layout-dependent, which is why they stay out of ``units``.
+    """
+    from repro.runtime.results import CampaignResult, CampaignUnit
+
+    started = time.monotonic()
+    tasks = spec.units()
+    if not tasks:
+        raise ValueError(
+            "campaign spec has no units: benchmarks and configs must both "
+            "be non-empty"
+        )
+    spec_dict = spec.to_dict()
+    jobs = max(1, spec.jobs)
+    key_jobs = max(1, -(-jobs // len(tasks))) if jobs > len(tasks) else 1
+    # A single-unit campaign runs inline in parallel_map with the whole
+    # worker budget as key_jobs, so its key trials still use every core.
+    outcomes = parallel_map(
+        _run_unit, tasks, shared=(spec_dict, key_jobs), jobs=jobs
+    )
+    result = CampaignResult(
+        spec=spec_dict,
+        units=[CampaignUnit.from_dict(o["unit"]) for o in outcomes],
+        elapsed_seconds=time.monotonic() - started,
+    )
+    if collect_cache_stats:
+        totals: dict[str, dict[str, int]] = {}
+        for outcome in outcomes:
+            for cache, counters in outcome["cache_delta"].items():
+                bucket = totals.setdefault(cache, {})
+                for counter, value in counters.items():
+                    bucket[counter] = bucket.get(counter, 0) + value
+        result.cache = totals
+    return result

@@ -1,0 +1,195 @@
+"""Unified JSON results schema for validation campaigns.
+
+Every campaign run — CLI (``repro campaign``), benchmark harness or
+evaluation report — serializes to the same structure so downstream
+consumers (``repro.evaluation.report``, plotting, CI smoke checks)
+parse one format:
+
+.. code-block:: text
+
+    {
+      "schema": "repro.campaign/1",
+      "spec": {... echo of the CampaignSpec ...},
+      "units": [
+        {
+          "benchmark": "sobel",
+          "config": "default",
+          "params": {...non-default ObfuscationParameters...},
+          "seed": 123456,            # per-unit derived seed
+          "report": {... ValidationReport ...}
+        },
+        ...
+      ],
+      "cache": {"golden": {...}, "frontend": {...}}   # optional telemetry
+    }
+
+Locking keys serialize as hex strings.  The schema is deliberately
+timing-free: serial and parallel runs of the same spec produce
+byte-identical JSON (the determinism contract the tests assert); wall
+time and worker counts live outside ``units``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.tao.key import LockingKey
+from repro.tao.metrics import KeyTrialResult, ValidationReport
+
+SCHEMA = "repro.campaign/1"
+
+
+# ----------------------------------------------------------------------
+# ValidationReport <-> dict
+# ----------------------------------------------------------------------
+def trial_to_dict(trial: KeyTrialResult) -> dict[str, Any]:
+    return {
+        "locking_key": f"{trial.locking_key.bits:x}",
+        "key_width": trial.locking_key.width,
+        "is_correct_key": trial.is_correct_key,
+        "output_matches": trial.output_matches,
+        "hamming_fraction": trial.hamming_fraction,
+        "cycles": trial.cycles,
+        "completed": trial.completed,
+    }
+
+
+def trial_from_dict(data: dict[str, Any]) -> KeyTrialResult:
+    return KeyTrialResult(
+        locking_key=LockingKey(
+            bits=int(data["locking_key"], 16), width=data["key_width"]
+        ),
+        is_correct_key=data["is_correct_key"],
+        output_matches=data["output_matches"],
+        hamming_fraction=data["hamming_fraction"],
+        cycles=data["cycles"],
+        completed=data["completed"],
+    )
+
+
+def report_to_dict(
+    report: ValidationReport, include_trials: bool = True
+) -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "component_name": report.component_name,
+        "n_keys": report.n_keys,
+        "correct_key_ok": report.correct_key_ok,
+        "wrong_keys_all_corrupt": report.wrong_keys_all_corrupt,
+        "average_hamming": report.average_hamming,
+        "min_hamming": report.min_hamming,
+        "max_hamming": report.max_hamming,
+        "baseline_cycles": report.baseline_cycles,
+        "latency_changed_keys": report.latency_changed_keys,
+    }
+    if include_trials:
+        data["trials"] = [trial_to_dict(t) for t in report.trials]
+    return data
+
+
+def report_from_dict(data: dict[str, Any]) -> ValidationReport:
+    return ValidationReport(
+        component_name=data["component_name"],
+        n_keys=data["n_keys"],
+        correct_key_ok=data["correct_key_ok"],
+        wrong_keys_all_corrupt=data["wrong_keys_all_corrupt"],
+        average_hamming=data["average_hamming"],
+        min_hamming=data["min_hamming"],
+        max_hamming=data["max_hamming"],
+        baseline_cycles=data["baseline_cycles"],
+        latency_changed_keys=data["latency_changed_keys"],
+        trials=[trial_from_dict(t) for t in data.get("trials", [])],
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign containers
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignUnit:
+    """One (benchmark, parameter-config) cell of a campaign sweep."""
+
+    benchmark: str
+    config: str
+    params: dict[str, Any]
+    seed: int
+    report: ValidationReport
+
+    def to_dict(self, include_trials: bool = True) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "report": report_to_dict(self.report, include_trials),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignUnit":
+        return cls(
+            benchmark=data["benchmark"],
+            config=data["config"],
+            params=dict(data["params"]),
+            seed=data["seed"],
+            report=report_from_dict(data["report"]),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a campaign run (the JSON document)."""
+
+    spec: dict[str, Any]
+    units: list[CampaignUnit] = field(default_factory=list)
+    cache: Optional[dict[str, Any]] = None
+    elapsed_seconds: Optional[float] = None
+
+    def unit(self, benchmark: str, config: str = "default") -> CampaignUnit:
+        for unit in self.units:
+            if unit.benchmark == benchmark and unit.config == config:
+                return unit
+        raise KeyError(f"no unit ({benchmark!r}, {config!r}) in campaign")
+
+    def to_dict(self, include_trials: bool = True) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "schema": SCHEMA,
+            "spec": dict(self.spec),
+            "units": [u.to_dict(include_trials) for u in self.units],
+        }
+        if self.cache is not None:
+            data["cache"] = self.cache
+        return data
+
+    def to_json(self, include_trials: bool = True, indent: int = 2) -> str:
+        return json.dumps(
+            self.to_dict(include_trials), indent=indent, sort_keys=True
+        )
+
+    def write(self, path: Path | str, include_trials: bool = True) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(include_trials) + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CampaignResult":
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported campaign schema {data.get('schema')!r} "
+                f"(expected {SCHEMA!r})"
+            )
+        return cls(
+            spec=dict(data["spec"]),
+            units=[CampaignUnit.from_dict(u) for u in data["units"]],
+            cache=data.get("cache"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: Path | str) -> "CampaignResult":
+        return cls.from_json(Path(path).read_text())

@@ -63,7 +63,7 @@ class Interpreter:
         if func is None:
             raise InterpreterError(f"no function {func_name!r}")
         memories = self._initial_memories(func, arrays)
-        trace: list[str] = [] if trace_blocks else []
+        trace: list[str] = []
         value = self._call(func, list(args), memories, trace if trace_blocks else None)
         return ExecutionResult(
             return_value=value,

@@ -6,18 +6,31 @@ A :class:`Testbench` holds a workload (scalar args + array contents)
 for one top function; :func:`run_testbench` executes the golden IR
 interpretation and the FSMD simulation and reports agreement, output
 bit vectors (for Hamming-distance corruptibility) and cycle counts.
+
+The golden execution is key-independent, so by default it is memoized
+in the process-wide :data:`repro.runtime.cache.GOLDEN_CACHE` — a
+100-key validation campaign interprets the software model exactly once
+per ``(design, testbench)`` pair.  Pass ``golden_cache=None`` to force
+a fresh interpretation, or any :class:`~repro.runtime.cache.GoldenCache`
+instance to isolate the memoization.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.hls.design import FsmdDesign
 from repro.ir.function import Module
 from repro.ir.types import IntType
+from repro.runtime.cache import GOLDEN_CACHE, GoldenCache
 from repro.sim.fsmd_sim import SimulationResult, simulate
 from repro.sim.interpreter import ExecutionResult, Interpreter
+
+#: Default simulation cycle budget — effectively "uncapped" for the
+#: benchmark suite; referenced by the validation metrics layer so the
+#: correct-key trial and direct run_testbench calls share one cap.
+DEFAULT_MAX_CYCLES = 2_000_000
 
 
 @dataclass
@@ -75,7 +88,7 @@ def output_bit_vector(
     return bits
 
 
-def default_observed_arrays(module: Module, func_name: str) -> list[int]:
+def default_observed_arrays(module: Module, func_name: str) -> list[str]:
     """Parameter arrays written by the function (its output memories)."""
     from repro.ir.instructions import Opcode
 
@@ -88,29 +101,47 @@ def default_observed_arrays(module: Module, func_name: str) -> list[int]:
     return [a.name for a in func.array_params() if a.name in written]
 
 
+class _DefaultCache:
+    """Sentinel type: 'use the process-wide golden cache'."""
+
+
+_DEFAULT_CACHE = _DefaultCache()
+
+
 def run_testbench(
     design: FsmdDesign,
     bench: Testbench,
     working_key: int = 0,
-    max_cycles: int = 2_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    golden_cache: Union[GoldenCache, None, _DefaultCache] = _DEFAULT_CACHE,
 ) -> TestbenchOutcome:
-    """Run golden software and FSMD simulation; compare observables."""
+    """Run golden software and FSMD simulation; compare observables.
+
+    The golden interpretation is memoized (see module docstring);
+    ``golden_cache=None`` disables the cache for this call.
+    """
     module = design.module
     func_name = design.func.name
     observed = bench.observed_arrays
     if observed is None:
         observed = default_observed_arrays(module, func_name)
 
-    golden = Interpreter(module).run(func_name, bench.args, dict(bench.arrays))
+    cache = GOLDEN_CACHE if isinstance(golden_cache, _DefaultCache) else golden_cache
+    if cache is None:
+        golden = Interpreter(module).run(
+            func_name, bench.args, dict(bench.arrays)
+        )
+        golden_bits = output_bit_vector(
+            golden.return_value, golden.arrays, observed, module, func_name
+        )
+    else:
+        golden, golden_bits = cache.golden_for(design, bench, observed)
     simulated = simulate(
         design,
         bench.args,
         dict(bench.arrays),
         working_key=working_key,
         max_cycles=max_cycles,
-    )
-    golden_bits = output_bit_vector(
-        golden.return_value, golden.arrays, observed, module, func_name
     )
     simulated_bits = output_bit_vector(
         simulated.return_value, simulated.arrays, observed, module, func_name

@@ -37,7 +37,10 @@ from repro.tao.rom_pass import RomObfuscation, eligible_roms, obfuscate_roms as 
 from repro.tao.metrics import (
     KeyTrialResult,
     ValidationReport,
+    build_report,
+    generate_wrong_keys,
     output_corruptibility,
+    run_key_trial,
     validate_component,
 )
 
@@ -59,6 +62,9 @@ __all__ = [
     "ValidationReport",
     "apportion_keys",
     "brute_force_slice_with_oracle",
+    "build_report",
+    "generate_wrong_keys",
+    "run_key_trial",
     "choose_working_key",
     "create_dfg_variants",
     "eligible_roms",

@@ -32,6 +32,7 @@ from repro.hls.engine import synthesize_function
 from repro.hls.resources import ResourceConstraints
 from repro.ir.function import Module
 from repro.opt.pass_manager import optimize_module
+from repro.runtime.cache import FRONTEND_CACHE
 from repro.tao.branch_pass import mask_branches
 from repro.tao.constants_pass import obfuscate_constants
 from repro.tao.dfg_variants import obfuscate_dfgs
@@ -85,10 +86,15 @@ class TaoFlow:
 
     # ------------------------------------------------------------------
     def compile_front_end(self, source: str, name: str = "design") -> Module:
-        """Front end + compiler steps: source to optimized, inlined IR."""
-        module = compile_c(source, name)
-        optimize_module(module, inline=True)
-        return module
+        """Front end + compiler steps: source to optimized, inlined IR.
+
+        Memoized in :data:`repro.runtime.cache.FRONTEND_CACHE` keyed on
+        the source hash: ``synthesize_pair`` (and repeated sweeps over
+        the same kernel) compile and optimize each source exactly once
+        per process.  The returned module is a private deep copy, safe
+        for the in-place obfuscation passes to mutate.
+        """
+        return FRONTEND_CACHE.get_or_compile(source, name, _compile_and_optimize)
 
     def analyze(self, module: Module, top: str) -> KeyApportionment:
         """Key apportionment on the optimized top function (Eq. 1)."""
@@ -179,6 +185,12 @@ class TaoFlow:
         baseline = self.synthesize_baseline(source, top)
         component = self.obfuscate(source, top, locking_key)
         return baseline, component
+
+
+def _compile_and_optimize(source: str, name: str) -> Module:
+    module = compile_c(source, name)
+    optimize_module(module, inline=True)
+    return module
 
 
 def obfuscate_source(

@@ -6,6 +6,14 @@ other key must corrupt them, and "output corruptibility" is measured
 as the Hamming distance of the wrong-key outputs from the baseline
 outputs (62.2 % average over the five benchmarks).  This module runs
 that campaign on our designs.
+
+Execution rides on :mod:`repro.runtime`: the golden software model is
+memoized per ``(design, testbench)`` (it is key-independent, so a
+100-key campaign interprets it exactly once per workload), and with
+``jobs > 1`` the wrong-key trials fan out across worker processes
+via :func:`repro.runtime.campaign.parallel_map`.  All keys are drawn
+up front from the campaign seed and each trial is a pure function of
+its key, so parallel and serial runs produce identical reports.
 """
 
 from __future__ import annotations
@@ -15,12 +23,19 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.sim.testbench import (
+    DEFAULT_MAX_CYCLES,
     Testbench,
     hamming_distance_fraction,
     run_testbench,
 )
 from repro.tao.flow import ObfuscatedComponent
 from repro.tao.key import LockingKey
+
+#: Cycle cap for a trial before the baseline latency is known (shared
+#: with run_testbench's default so both paths agree on "uncapped").
+UNCAPPED_CYCLES = DEFAULT_MAX_CYCLES
+#: Floor of the wrong-key cycle cap (8x baseline, but never below this).
+WRONG_KEY_CYCLE_FLOOR = 4000
 
 
 @dataclass
@@ -37,12 +52,19 @@ class KeyTrialResult:
 
 @dataclass
 class ValidationReport:
-    """Aggregate of a key-validation campaign on one component."""
+    """Aggregate of a key-validation campaign on one component.
+
+    ``n_keys`` is the number of trials actually run (narrow key widths
+    can yield fewer distinct wrong keys than requested).
+    ``wrong_keys_all_corrupt`` is ``None`` when the campaign produced
+    no wrong-key trials at all — a vacuous campaign must not report
+    success.
+    """
 
     component_name: str
     n_keys: int
     correct_key_ok: bool
-    wrong_keys_all_corrupt: bool
+    wrong_keys_all_corrupt: Optional[bool]
     average_hamming: float
     min_hamming: float
     max_hamming: float
@@ -51,87 +73,125 @@ class ValidationReport:
     trials: list[KeyTrialResult] = field(default_factory=list)
 
 
-def validate_component(
+def generate_wrong_keys(
+    correct: LockingKey,
+    n_wrong: int,
+    rng: random.Random,
+    max_attempts: Optional[int] = None,
+) -> list[LockingKey]:
+    """Draw up to ``n_wrong`` distinct wrong keys of ``correct``'s width.
+
+    Rejection sampling is bounded and deduplicates candidates against
+    both the correct key and each other, so narrow widths terminate:
+    when the keyspace itself is smaller than the request (width w with
+    2^w - 1 < n_wrong) the entire wrong-key space is returned in
+    rng-shuffled order, and a pathological collision streak merely
+    yields a shorter list instead of spinning forever.
+    """
+    width = correct.width
+    if width <= 20 and (1 << width) - 1 <= n_wrong:
+        values = [v for v in range(1 << width) if v != correct.bits]
+        rng.shuffle(values)
+        return [LockingKey(bits=v, width=width) for v in values]
+    if max_attempts is None:
+        max_attempts = max(64 * n_wrong, 1024)
+    seen = {correct.bits}
+    keys: list[LockingKey] = []
+    attempts = 0
+    while len(keys) < n_wrong and attempts < max_attempts:
+        attempts += 1
+        candidate = LockingKey.random(rng, width)
+        if candidate.bits in seen:
+            continue
+        seen.add(candidate.bits)
+        keys.append(candidate)
+    return keys
+
+
+def _cycle_cap(baseline_cycles: int, max_cycles: Optional[int]) -> int:
+    """Wrong-key cap: 8x the correct-key latency (corrupted loop bounds
+    can otherwise spin for the full 2^32 range)."""
+    if max_cycles is not None:
+        return max_cycles
+    if baseline_cycles:
+        return max(8 * baseline_cycles, WRONG_KEY_CYCLE_FLOOR)
+    return UNCAPPED_CYCLES
+
+
+def run_key_trial(
     component: ObfuscatedComponent,
     benches: Sequence[Testbench],
-    n_keys: int = 100,
-    seed: int = 7,
-    max_cycles: int | None = None,
-) -> ValidationReport:
-    """Run the §4.3 campaign: one correct key + ``n_keys - 1`` wrong keys.
+    key: LockingKey,
+    cycle_cap: int,
+) -> KeyTrialResult:
+    """Simulate one locking key over all workloads.
 
-    A key "corrupts" when at least one workload's outputs differ from
-    the golden outputs.  Hamming fractions are averaged over workloads
-    and wrong keys.  Wrong-key simulations are capped at 8x the
-    correct-key latency (corrupted loop bounds can otherwise spin for
-    the full 2^32 range); a timed-out run counts as corrupted with its
-    produced outputs.
+    A pure function of ``(component, benches, key, cycle_cap)`` — the
+    unit the campaign engine parallelizes.  The golden reference comes
+    from the process-wide cache inside :func:`run_testbench`.
     """
-    rng = random.Random(seed)
-    design = component.design
-    correct = component.locking_key
-
-    keys = [correct]
-    while len(keys) < n_keys:
-        candidate = LockingKey.random(rng, correct.width)
-        if candidate.bits != correct.bits:
-            keys.append(candidate)
-
-    baseline_cycles = 0
-    trials: list[KeyTrialResult] = []
-    wrong_hammings: list[float] = []
-    latency_changed = 0
-
-    for key in keys:
-        working = component.working_key_for(key)
-        matches_all = True
-        completed_all = True
-        hamming_sum = 0.0
-        cycles = 0
-        if max_cycles is not None:
-            cycle_cap = max_cycles
-        elif baseline_cycles:
-            cycle_cap = max(8 * baseline_cycles, 4000)
-        else:
-            cycle_cap = 2_000_000
-        for bench in benches:
-            outcome = run_testbench(
-                design, bench, working_key=working, max_cycles=cycle_cap
-            )
-            matches_all &= outcome.matches
-            completed_all &= outcome.simulated.completed
-            hamming_sum += hamming_distance_fraction(
-                outcome.golden_bits, outcome.simulated_bits
-            )
-            cycles = max(cycles, outcome.cycles)
-        hamming = hamming_sum / max(1, len(benches))
-        is_correct = key.bits == correct.bits
-        if is_correct:
-            baseline_cycles = cycles
-        else:
-            wrong_hammings.append(hamming)
-        trials.append(
-            KeyTrialResult(
-                locking_key=key,
-                is_correct_key=is_correct,
-                output_matches=matches_all,
-                hamming_fraction=hamming,
-                cycles=cycles,
-                completed=completed_all,
-            )
+    working = component.working_key_for(key)
+    matches_all = True
+    completed_all = True
+    hamming_sum = 0.0
+    cycles = 0
+    for bench in benches:
+        outcome = run_testbench(
+            component.design, bench, working_key=working, max_cycles=cycle_cap
         )
+        matches_all &= outcome.matches
+        completed_all &= outcome.simulated.completed
+        hamming_sum += hamming_distance_fraction(
+            outcome.golden_bits, outcome.simulated_bits
+        )
+        cycles = max(cycles, outcome.cycles)
+    return KeyTrialResult(
+        locking_key=key,
+        is_correct_key=key.bits == component.locking_key.bits,
+        output_matches=matches_all,
+        hamming_fraction=hamming_sum / max(1, len(benches)),
+        cycles=cycles,
+        completed=completed_all,
+    )
 
-    for trial in trials:
-        if not trial.is_correct_key and trial.cycles != baseline_cycles:
-            latency_changed += 1
 
+def _key_trial_worker(shared, key_bits: int) -> KeyTrialResult:
+    """Module-level trampoline so pool workers can unpickle the task."""
+    component, benches, cycle_cap, width = shared
+    key = LockingKey(bits=key_bits, width=width)
+    return run_key_trial(component, benches, key, cycle_cap)
+
+
+def build_report(
+    component_name: str,
+    trials: Sequence[KeyTrialResult],
+) -> ValidationReport:
+    """Aggregate trials (correct key first) into a report.
+
+    The baseline latency is the correct-key trial's cycle count.  With
+    no wrong-key trials ``wrong_keys_all_corrupt`` is ``None`` —
+    ``all([])`` would vacuously claim every wrong key corrupts.
+    """
+    if not trials:
+        raise ValueError(
+            "build_report needs at least the correct-key trial"
+        )
     correct_trial = trials[0]
-    wrong_trials = trials[1:]
+    baseline_cycles = correct_trial.cycles
+    wrong_trials = list(trials[1:])
+    wrong_hammings = [t.hamming_fraction for t in wrong_trials]
+    latency_changed = sum(
+        1 for t in wrong_trials if t.cycles != baseline_cycles
+    )
     return ValidationReport(
-        component_name=design.name,
-        n_keys=n_keys,
+        component_name=component_name,
+        n_keys=len(trials),
         correct_key_ok=correct_trial.output_matches,
-        wrong_keys_all_corrupt=all(not t.output_matches for t in wrong_trials),
+        wrong_keys_all_corrupt=(
+            all(not t.output_matches for t in wrong_trials)
+            if wrong_trials
+            else None
+        ),
         average_hamming=(
             sum(wrong_hammings) / len(wrong_hammings) if wrong_hammings else 0.0
         ),
@@ -139,8 +199,66 @@ def validate_component(
         max_hamming=max(wrong_hammings, default=0.0),
         baseline_cycles=baseline_cycles,
         latency_changed_keys=latency_changed,
-        trials=trials,
+        trials=list(trials),
     )
+
+
+def validate_component(
+    component: ObfuscatedComponent,
+    benches: Sequence[Testbench],
+    n_keys: int = 100,
+    seed: int = 7,
+    max_cycles: int | None = None,
+    jobs: int = 1,
+) -> ValidationReport:
+    """Run the §4.3 campaign: one correct key + ``n_keys - 1`` wrong keys.
+
+    A key "corrupts" when at least one workload's outputs differ from
+    the golden outputs.  Hamming fractions are averaged over workloads
+    and wrong keys.  Wrong-key simulations are capped at 8x the
+    correct-key latency; a timed-out run counts as corrupted with its
+    produced outputs.
+
+    ``n_keys`` must be at least 2: a campaign with no wrong keys can
+    only report vacuous success.  With ``jobs > 1`` the wrong-key
+    trials run on a process pool; keys are drawn up front from ``seed``
+    so the report is identical to a serial run.
+    """
+    if n_keys < 2:
+        raise ValueError(
+            f"n_keys={n_keys}: a validation campaign needs the correct key "
+            "plus at least one wrong key"
+        )
+    if not benches:
+        raise ValueError(
+            "a validation campaign needs at least one workload: with no "
+            "testbenches every key vacuously 'matches'"
+        )
+    rng = random.Random(seed)
+    correct = component.locking_key
+    wrong_keys = generate_wrong_keys(correct, n_keys - 1, rng)
+
+    correct_trial = run_key_trial(
+        component, benches, correct, _cycle_cap(0, max_cycles)
+    )
+    baseline_cycles = correct_trial.cycles
+    cap = _cycle_cap(baseline_cycles, max_cycles)
+
+    if jobs > 1 and len(wrong_keys) > 1:
+        from repro.runtime.campaign import parallel_map
+
+        wrong_trials = parallel_map(
+            _key_trial_worker,
+            [key.bits for key in wrong_keys],
+            shared=(component, benches, cap, correct.width),
+            jobs=jobs,
+            chunksize=max(1, len(wrong_keys) // (4 * jobs)),
+        )
+    else:
+        wrong_trials = [
+            run_key_trial(component, benches, key, cap) for key in wrong_keys
+        ]
+    return build_report(component.design.name, [correct_trial, *wrong_trials])
 
 
 def output_corruptibility(

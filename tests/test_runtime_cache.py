@@ -1,0 +1,162 @@
+"""Tests for the runtime memoization caches (golden model + front end)."""
+
+import pytest
+
+from repro.runtime.cache import (
+    FRONTEND_CACHE,
+    GOLDEN_CACHE,
+    GoldenCache,
+    cache_stats,
+    reset_caches,
+)
+from repro.sim import Testbench, run_testbench
+from repro.tao import TaoFlow
+
+SOURCE = """
+int kernel(int seed, int out[4]) {
+  int acc = seed * 21 + 4;
+  for (int i = 0; i < 4; i++) {
+    if (acc % 2 == 0) acc = acc / 2 + 3;
+    else acc = acc * 3 - 1;
+    out[i] = acc;
+  }
+  return acc;
+}
+"""
+
+BENCH = Testbench(args=[7])
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    reset_caches()
+    yield
+    reset_caches()
+
+
+@pytest.fixture()
+def component():
+    return TaoFlow().obfuscate(SOURCE, "kernel")
+
+
+class TestGoldenCache:
+    def test_second_run_hits(self, component):
+        GOLDEN_CACHE.stats.reset()
+        run_testbench(component.design, BENCH, working_key=component.correct_working_key)
+        run_testbench(component.design, BENCH, working_key=123, max_cycles=2000)
+        assert GOLDEN_CACHE.stats.misses == 1
+        assert GOLDEN_CACHE.stats.hits == 1
+
+    def test_distinct_workloads_distinct_entries(self, component):
+        GOLDEN_CACHE.stats.reset()
+        key = component.correct_working_key
+        run_testbench(component.design, BENCH, working_key=key)
+        run_testbench(component.design, Testbench(args=[8]), working_key=key)
+        assert GOLDEN_CACHE.stats.misses == 2
+        assert GOLDEN_CACHE.stats.hits == 0
+
+    def test_returns_defensive_copies(self, component):
+        key = component.correct_working_key
+        outcome_a = run_testbench(component.design, BENCH, working_key=key)
+        outcome_a.golden.arrays["out"][0] ^= 0xFFFF
+        outcome_a.golden_bits[:] = []
+        outcome_b = run_testbench(component.design, BENCH, working_key=key)
+        assert outcome_b.golden_bits  # cached master untouched
+        assert outcome_b.golden.arrays["out"][0] != outcome_a.golden.arrays["out"][0]
+
+    def test_opt_out_bypasses_cache(self, component):
+        GOLDEN_CACHE.stats.reset()
+        key = component.correct_working_key
+        run_testbench(component.design, BENCH, working_key=key, golden_cache=None)
+        run_testbench(component.design, BENCH, working_key=key, golden_cache=None)
+        assert GOLDEN_CACHE.stats.lookups == 0
+
+    def test_private_cache_instance(self, component):
+        private = GoldenCache()
+        key = component.correct_working_key
+        run_testbench(component.design, BENCH, working_key=key, golden_cache=private)
+        run_testbench(component.design, BENCH, working_key=key, golden_cache=private)
+        assert private.stats.misses == 1
+        assert private.stats.hits == 1
+        assert GOLDEN_CACHE.stats.lookups == 0
+
+    def test_mutated_initializer_invalidates_entry(self):
+        # ROM initializers don't appear in str(module); the checksum
+        # must still see them (the interpreter reads them).
+        rom_source = """
+        const int lut[4] = {11, 21, 31, 41};
+        int rom_kernel(int i, int out[4]) {
+          for (int k = 0; k < 4; k++) {
+            out[k] = lut[k] + i;
+          }
+          return out[3];
+        }
+        """
+        component = TaoFlow().obfuscate(rom_source, "rom_kernel")
+        GOLDEN_CACHE.stats.reset()
+        key = component.correct_working_key
+        bench = Testbench(args=[5])
+        first = run_testbench(component.design, bench, working_key=key)
+        func = component.design.module.function("rom_kernel")
+        rom = next(
+            a
+            for a in func.arrays.values()
+            if not a.is_param and a.initializer is not None
+        )
+        rom.initializer[0] += 100
+        second = run_testbench(component.design, bench, working_key=key)
+        assert GOLDEN_CACHE.stats.misses == 2
+        assert second.golden_bits != first.golden_bits
+
+    def test_mutated_module_invalidates_entry(self, component):
+        GOLDEN_CACHE.stats.reset()
+        key = component.correct_working_key
+        run_testbench(component.design, BENCH, working_key=key)
+        # In-place IR change (anything visible in the printed module)
+        # must recompute the golden reference, not serve a stale entry.
+        module = component.design.module
+        func = module.function(component.design.func.name)
+        module.functions["kernel_alias"] = func
+        try:
+            run_testbench(component.design, BENCH, working_key=key)
+        finally:
+            del module.functions["kernel_alias"]
+        assert GOLDEN_CACHE.stats.misses == 2
+        assert GOLDEN_CACHE.stats.hits == 0
+
+    def test_golden_matches_uncached(self, component):
+        key = component.correct_working_key
+        cached = run_testbench(component.design, BENCH, working_key=key)
+        fresh = run_testbench(component.design, BENCH, working_key=key, golden_cache=None)
+        assert cached.golden_bits == fresh.golden_bits
+        assert cached.golden.return_value == fresh.golden.return_value
+        assert cached.golden.arrays == fresh.golden.arrays
+
+
+class TestFrontEndCache:
+    def test_synthesize_pair_compiles_once(self):
+        FRONTEND_CACHE.stats.reset()
+        TaoFlow().synthesize_pair(SOURCE, "kernel")
+        assert FRONTEND_CACHE.stats.misses == 1
+        assert FRONTEND_CACHE.stats.hits == 1
+
+    def test_copies_are_independent(self):
+        flow = TaoFlow()
+        module_a = flow.compile_front_end(SOURCE, "a")
+        module_b = flow.compile_front_end(SOURCE, "b")
+        assert module_a is not module_b
+        assert module_a.name == "a" and module_b.name == "b"
+        module_a.functions.clear()
+        assert module_b.functions  # master and sibling copy untouched
+
+    def test_baseline_equals_uncached_baseline(self):
+        flow = TaoFlow()
+        cached_first = flow.synthesize_baseline(SOURCE, "kernel")
+        cached_second = flow.synthesize_baseline(SOURCE, "kernel")
+        assert str(cached_first.func) == str(cached_second.func)
+
+    def test_stats_snapshot(self):
+        TaoFlow().compile_front_end(SOURCE)
+        stats = cache_stats()
+        assert stats["frontend"]["misses"] == 1
+        assert set(stats) == {"golden", "frontend"}

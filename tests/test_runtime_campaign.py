@@ -1,0 +1,286 @@
+"""Tests for the campaign engine and the key-validation loop fixes:
+
+* ``n_keys < 2`` raises instead of reporting vacuous success;
+* wrong-key generation is bounded and deduplicated (narrow widths
+  terminate);
+* the golden model is interpreted exactly once per (design, testbench)
+  during a campaign;
+* parallel and serial campaigns emit byte-identical JSON.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.runtime.cache import GOLDEN_CACHE, reset_caches
+from repro.runtime.campaign import (
+    CampaignSpec,
+    derive_seed,
+    parallel_map,
+    resolve_jobs,
+    run_campaign,
+)
+from repro.runtime.results import (
+    CampaignResult,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.sim import Testbench
+from repro.tao import LockingKey, ObfuscationParameters, TaoFlow
+from repro.tao.metrics import (
+    build_report,
+    generate_wrong_keys,
+    run_key_trial,
+    validate_component,
+)
+
+SOURCE = """
+int kernel(int seed, int out[4]) {
+  int acc = seed * 21 + 4;
+  for (int i = 0; i < 4; i++) {
+    if (acc % 2 == 0) acc = acc / 2 + 3;
+    else acc = acc * 3 - 1;
+    out[i] = acc;
+  }
+  return acc;
+}
+"""
+
+BENCH = Testbench(args=[7])
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    reset_caches()
+    yield
+    reset_caches()
+
+
+@pytest.fixture(scope="module")
+def component():
+    return TaoFlow().obfuscate(SOURCE, "kernel")
+
+
+@pytest.fixture(scope="module")
+def narrow_component():
+    """Component locked with a 6-bit key: only 63 wrong keys exist."""
+    params = ObfuscationParameters(locking_key_bits=6)
+    return TaoFlow(params=params).obfuscate(SOURCE, "kernel")
+
+
+class TestVacuousCampaigns:
+    @pytest.mark.parametrize("n_keys", [1, 0, -3])
+    def test_too_few_keys_raises(self, component, n_keys):
+        with pytest.raises(ValueError, match="n_keys"):
+            validate_component(component, [BENCH], n_keys=n_keys)
+
+    def test_no_workloads_raises(self, component):
+        with pytest.raises(ValueError, match="workload"):
+            validate_component(component, [], n_keys=4)
+
+    def test_empty_trials_raises(self):
+        with pytest.raises(ValueError, match="correct-key trial"):
+            build_report("kernel", [])
+
+    def test_no_wrong_trials_reports_none(self, component):
+        correct = run_key_trial(
+            component, [BENCH], component.locking_key, 2_000_000
+        )
+        report = build_report("kernel", [correct])
+        assert report.wrong_keys_all_corrupt is None
+        assert report.correct_key_ok
+
+
+class TestWrongKeyGeneration:
+    def test_narrow_width_terminates_and_covers_space(self):
+        rng = random.Random(1)
+        correct = LockingKey(bits=5, width=3)
+        keys = generate_wrong_keys(correct, 100, rng)
+        bits = [k.bits for k in keys]
+        assert sorted(bits) == [b for b in range(8) if b != 5]
+
+    def test_keys_deduplicated(self):
+        rng = random.Random(2)
+        correct = LockingKey(bits=0, width=8)
+        keys = generate_wrong_keys(correct, 200, rng)
+        bits = [k.bits for k in keys]
+        assert len(set(bits)) == len(bits)
+        assert correct.bits not in bits
+
+    def test_bounded_attempts(self):
+        rng = random.Random(3)
+        correct = LockingKey(bits=1, width=64)
+        keys = generate_wrong_keys(correct, 50, rng, max_attempts=10)
+        assert len(keys) <= 10  # bounded, not spinning
+
+    def test_narrow_width_campaign_terminates(self, narrow_component):
+        report = validate_component(narrow_component, [BENCH], n_keys=100)
+        # 6-bit keyspace: 1 correct + at most 63 wrong keys.
+        assert 2 <= report.n_keys <= 64
+        bits = [t.locking_key.bits for t in report.trials]
+        assert len(set(bits)) == len(bits)
+        assert report.correct_key_ok
+
+
+class TestGoldenMemoization:
+    def test_one_interpretation_per_design_testbench(self, component):
+        GOLDEN_CACHE.clear()
+        report = validate_component(component, [BENCH], n_keys=8)
+        assert len(report.trials) == 8
+        assert GOLDEN_CACHE.stats.misses == 1
+        assert GOLDEN_CACHE.stats.hits == 7
+
+    def test_one_interpretation_per_workload(self, component):
+        GOLDEN_CACHE.clear()
+        benches = [BENCH, Testbench(args=[11])]
+        validate_component(component, benches, n_keys=5)
+        assert GOLDEN_CACHE.stats.misses == 2
+        assert GOLDEN_CACHE.stats.hits == 2 * 5 - 2
+
+
+class TestParallelDeterminism:
+    def test_key_parallel_equals_serial(self, component):
+        serial = validate_component(component, [BENCH], n_keys=6, seed=11)
+        parallel = validate_component(
+            component, [BENCH], n_keys=6, seed=11, jobs=2
+        )
+        assert json.dumps(report_to_dict(serial), sort_keys=True) == json.dumps(
+            report_to_dict(parallel), sort_keys=True
+        )
+
+    def test_campaign_parallel_equals_serial(self):
+        base = dict(benchmarks=("sobel", "adpcm"), n_keys=3, seed=5)
+        serial = run_campaign(CampaignSpec(jobs=1, **base))
+        parallel = run_campaign(CampaignSpec(jobs=2, **base))
+        assert serial.to_json() == parallel.to_json()
+
+    def test_oversubscribed_campaign_equals_serial(self):
+        # jobs > unit count: unit workers spawn nested key-level pools
+        # (ceil split, 2 key workers each) — results must not change.
+        base = dict(benchmarks=("sobel", "adpcm"), n_keys=4, seed=9)
+        serial = run_campaign(CampaignSpec(jobs=1, **base))
+        nested = run_campaign(CampaignSpec(jobs=4, **base))
+        assert serial.to_json() == nested.to_json()
+
+    def test_parallel_map_preserves_order(self):
+        doubled = parallel_map(_double, [3, 1, 2], shared=10, jobs=2)
+        assert doubled == [30, 10, 20]
+
+    def test_parallel_map_inline_path(self):
+        assert parallel_map(_double, [4], shared=2, jobs=8) == [8]
+
+
+def _double(shared, item):
+    return shared * item
+
+
+class TestCampaignEngine:
+    def test_derived_seeds_are_stable_and_distinct(self):
+        a = derive_seed(7, "sobel", "default")
+        assert a == derive_seed(7, "sobel", "default")
+        assert a != derive_seed(7, "gsm", "default")
+        assert a != derive_seed(8, "sobel", "default")
+
+    def test_resolve_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+        assert resolve_jobs(2) == 2
+        assert resolve_jobs(0) == 3  # 0 means auto
+        monkeypatch.setenv("REPRO_JOBS", "bogus")
+        with pytest.warns(UserWarning, match="REPRO_JOBS"):
+            assert resolve_jobs() >= 1
+        with pytest.raises(ValueError, match="negative"):
+            resolve_jobs(-1)
+
+    def test_empty_spec_raises(self):
+        with pytest.raises(ValueError, match="no units"):
+            run_campaign(CampaignSpec(benchmarks=()))
+
+    def test_single_unit_campaign(self):
+        result = run_campaign(
+            CampaignSpec(benchmarks=("sobel",), n_keys=3, jobs=1)
+        )
+        unit = result.unit("sobel")
+        assert unit.report.correct_key_ok
+        assert unit.report.wrong_keys_all_corrupt
+        assert unit.config == "default"
+
+    def test_config_sweep_units(self):
+        spec = CampaignSpec(
+            benchmarks=("sobel",), configs=("default", "branches-only"), n_keys=2
+        )
+        assert spec.units() == [
+            ("sobel", "default"),
+            ("sobel", "branches-only"),
+        ]
+        assert spec.config_overrides("branches-only") == {
+            "obfuscate_constants": False,
+            "obfuscate_dfg": False,
+        }
+        with pytest.raises(KeyError):
+            spec.config_overrides("nope")
+
+
+class TestResultsSchema:
+    def test_report_round_trip(self, component):
+        report = validate_component(component, [BENCH], n_keys=4)
+        clone = report_from_dict(report_to_dict(report))
+        assert report_to_dict(clone) == report_to_dict(report)
+        assert clone.trials[0].locking_key == report.trials[0].locking_key
+
+    def test_campaign_round_trip(self):
+        result = run_campaign(CampaignSpec(benchmarks=("sobel",), n_keys=2))
+        clone = CampaignResult.from_json(result.to_json())
+        assert clone.to_json() == result.to_json()
+
+    def test_schema_guard(self):
+        with pytest.raises(ValueError, match="schema"):
+            CampaignResult.from_dict({"schema": "bogus/9", "spec": {}, "units": []})
+
+    def test_cli_campaign_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "campaign.json"
+        code = main(
+            [
+                "campaign",
+                "--benchmarks",
+                "sobel",
+                "--keys",
+                "3",
+                "--jobs",
+                "1",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == "repro.campaign/1"
+        assert data["units"][0]["benchmark"] == "sobel"
+        assert data["units"][0]["report"]["correct_key_ok"] is True
+        captured = capsys.readouterr().out
+        assert "sobel" in captured
+
+    def test_cli_unknown_benchmark(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--benchmarks", "nope", "--keys", "2"]) == 2
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["campaign", "--benchmarks", ",", "--keys", "2"],
+            ["campaign", "--benchmarks", "sobel", "--keys", "1"],
+            ["campaign", "--benchmarks", "sobel", "--keys", "2", "--workloads", "0"],
+            ["campaign", "--benchmarks", "sobel", "--keys", "2", "--config", "nope"],
+            ["validate", "--benchmark", "sobel", "--keys", "1"],
+            ["validate", "--benchmark", "sobl", "--keys", "4"],
+        ],
+    )
+    def test_cli_rejects_vacuous_or_invalid_args(self, argv, capsys):
+        from repro.cli import main
+
+        assert main(argv) == 2
+        assert capsys.readouterr().err.strip()
