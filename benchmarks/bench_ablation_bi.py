@@ -12,6 +12,7 @@ import pytest
 from repro.benchsuite import all_benchmarks
 from repro.evaluation.overhead import frequency_vs_block_bits
 from repro.rtl import estimate_area
+from repro.runtime.campaign import CampaignSpec, run_campaign
 from repro.tao import ObfuscationParameters, TaoFlow
 
 BI_VALUES = [1, 2, 3, 4, 5]
@@ -61,6 +62,48 @@ def test_frequency_drops_with_block_bits(benchmark, capsys):
     values = [ratios[b] for b in BI_VALUES]
     assert all(v <= 1.0 for v in values)
     assert values[-1] <= values[0]  # more variants, never faster
+
+
+def test_block_bits_sweep_functional(benchmark, capsys):
+    """Every B_i cell must stay functionally locked: the campaign
+    engine sweeps the ad-hoc B_i configs (``extra_configs``) with the
+    §4.3 validation loop, sharing one golden run across the sweep
+    (DFG variants leave the IR untouched)."""
+
+    def sweep():
+        spec = CampaignSpec(
+            benchmarks=("sobel",),
+            configs=("bi1", "bi4"),
+            extra_configs=tuple(
+                (
+                    f"bi{bits}",
+                    (
+                        ("obfuscate_constants", False),
+                        ("obfuscate_branches", False),
+                        ("block_bits", bits),
+                    ),
+                )
+                for bits in (1, 4)
+            ),
+            n_keys=3,
+            jobs=1,  # serial: both cells share this process's cache
+        )
+        return run_campaign(spec, collect_cache_stats=True)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        for unit in result.units:
+            print(
+                f"\nsobel[{unit.config}]: correct_ok="
+                f"{unit.report.correct_key_ok} avg_HD="
+                f"{100 * unit.report.average_hamming:.1f}%"
+            )
+    for unit in result.units:
+        assert unit.report.correct_key_ok
+        assert unit.report.wrong_keys_all_corrupt
+        assert unit.params["block_bits"] in (1, 4)
+    # One golden interpreter run served both B_i cells.
+    assert result.cache["golden"]["misses"] == 1
 
 
 def test_diversity_mode_ablation(benchmark, capsys):

@@ -16,7 +16,12 @@ import pytest
 from repro.benchsuite import get_benchmark
 from repro.hls import FUKind, ResourceConstraints
 from repro.rtl import estimate_area
-from repro.sim import run_testbench
+from repro.runtime.campaign import (
+    PRESET_BUDGETS,
+    CampaignSpec,
+    resolve_jobs,
+    run_campaign,
+)
 from repro.tao import ObfuscationParameters, TaoFlow
 
 ADDER_BUDGETS = [1, 2, 4]
@@ -64,19 +69,32 @@ def test_sharing_amplifies_variant_overhead(benchmark, capsys):
     assert overheads[4] > overheads[1]
 
 
-def test_constrained_obfuscated_design_still_correct(benchmark):
-    def run():
-        bench = get_benchmark("sobel")
-        constraints = ResourceConstraints()
-        constraints.limits[FUKind.ADDSUB] = 1
-        constraints.limits[FUKind.MUL] = 1
-        component = TaoFlow(constraints=constraints).obfuscate(
-            bench.source, bench.top
-        )
-        workload = bench.make_testbenches(seed=0, count=1)[0]
-        return run_testbench(
-            component.design, workload, working_key=component.correct_working_key
-        )
+def test_budget_axis_campaign_correct_at_every_budget(benchmark, capsys):
+    """A3 functional leg on the engine's resource-budget axis: every
+    named budget (tight/default/loose) must unlock under the correct
+    key and corrupt under every wrong key; the tight budget pays its
+    resource pressure in schedule length, never in correctness — and
+    the golden model is shared across all budgets (same IR)."""
 
-    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert outcome.matches
+    def sweep():
+        spec = CampaignSpec(
+            benchmarks=("sobel",),
+            resource_budgets=tuple(PRESET_BUDGETS),
+            n_keys=3,
+            jobs=resolve_jobs(),
+        )
+        return run_campaign(spec)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_budget = {u.budget: u.report for u in result.units}
+    with capsys.disabled():
+        print("\nsobel correct-key cycles vs resource budget:")
+        for name, report in by_budget.items():
+            print(f"  {name}: {report.baseline_cycles} cycles")
+    assert set(by_budget) == set(PRESET_BUDGETS)
+    for report in by_budget.values():
+        assert report.correct_key_ok
+        assert report.wrong_keys_all_corrupt
+    # Fewer FU instances can only lengthen (never shorten) the schedule.
+    assert by_budget["tight"].baseline_cycles >= by_budget["default"].baseline_cycles
+    assert by_budget["default"].baseline_cycles >= by_budget["loose"].baseline_cycles

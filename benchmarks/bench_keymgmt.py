@@ -5,6 +5,12 @@ locking-key bits wire directly from the tamper-proof memory to the use
 points, with fan-out f = ceil(W/K)); the AES scheme adds a fixed
 decryption core plus NVM bits and flip-flops proportional to W, and
 its one-time power-up latency is irrelevant at run time.
+
+Functional validation of both schemes rides on the campaign engine's
+key-scheme axis (``CampaignSpec.key_schemes``): one sweep runs the
+§4.3 key validation under replication and AES delivery against the
+same workloads, and the content-addressed golden cache interprets the
+software model once for both.
 """
 
 import pytest
@@ -14,6 +20,7 @@ from repro.evaluation.keymgmt_eval import (
     generate_keymgmt,
     measure_keymgmt,
 )
+from repro.runtime.campaign import CampaignSpec, resolve_jobs, run_campaign
 
 BENCHMARKS = ["gsm", "adpcm", "sobel", "backprop", "viterbi"]
 
@@ -43,3 +50,29 @@ def test_keymgmt_suite(benchmark, capsys):
 
     for row in rows:
         assert row.aes_extra > AES_CORE_AREA_GATES
+
+
+def test_key_scheme_axis_campaign(benchmark, capsys):
+    """K1 functional leg on the engine: both §3.4 delivery schemes must
+    unlock under the correct locking key and corrupt under every wrong
+    one — swept as one campaign over the key-scheme axis."""
+    spec = CampaignSpec(
+        benchmarks=("sobel",),
+        key_schemes=("replication", "aes"),
+        n_keys=4,
+        jobs=resolve_jobs(),
+    )
+    result = benchmark.pedantic(run_campaign, args=(spec,), rounds=1, iterations=1)
+    with capsys.disabled():
+        for unit in result.units:
+            print(
+                f"\nsobel[{unit.key_scheme}]: correct_ok="
+                f"{unit.report.correct_key_ok} "
+                f"all_wrong_corrupt={unit.report.wrong_keys_all_corrupt}"
+            )
+    assert {u.key_scheme for u in result.units} == {"replication", "aes"}
+    for unit in result.units:
+        assert unit.report.correct_key_ok
+        assert unit.report.wrong_keys_all_corrupt
+        # Key delivery must not perturb the unlocked schedule.
+        assert unit.report.baseline_cycles > 0

@@ -5,16 +5,19 @@ extension (DESIGN.md §5) on the benchmarks that carry on-chip constant
 tables (adpcm's step/index tables, viterbi-style weight ROMs).
 Expected shape: near-zero area cost (one XOR bank per ROM), C extra
 working-key bits per ROM, and wrong ROM slices corrupting outputs.
-"""
 
-import random
+The functional leg runs on the campaign engine via an ``extra_configs``
+entry enabling ``obfuscate_roms`` — the ROM config is just another
+cell on the parameter-config axis, validated with the same §4.3 loop
+as every preset.
+"""
 
 import pytest
 
 from repro.benchsuite import get_benchmark
 from repro.rtl import estimate_area
-from repro.sim import run_testbench
-from repro.tao import LockingKey, ObfuscationParameters, TaoFlow
+from repro.runtime.campaign import CampaignSpec, resolve_jobs, run_campaign
+from repro.tao import ObfuscationParameters, TaoFlow
 
 ROM_BENCHMARKS = ["adpcm"]  # benchmarks with eligible on-chip ROMs
 
@@ -50,29 +53,25 @@ def test_rom_extension_overhead(benchmark, name, capsys):
 
 @pytest.mark.parametrize("name", ROM_BENCHMARKS)
 def test_rom_extension_functional(benchmark, name, capsys):
-    def campaign():
-        bench = get_benchmark(name)
-        params = ObfuscationParameters(obfuscate_roms=True)
-        component = TaoFlow(params=params).obfuscate(bench.source, bench.top)
-        workload = bench.make_testbenches(seed=0, count=1)[0]
-        good = run_testbench(
-            component.design, workload, working_key=component.correct_working_key
-        )
-        rng = random.Random(1)
-        corrupted = 0
-        for _ in range(4):
-            key = LockingKey.random(rng)
-            outcome = run_testbench(
-                component.design,
-                workload,
-                working_key=component.working_key_for(key),
-                max_cycles=6 * good.cycles,
-            )
-            corrupted += not outcome.matches
-        return good, corrupted
+    """ROM config as a campaign cell: correct key unlocks, every wrong
+    key (ROM slices included) corrupts."""
 
-    good, corrupted = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    def campaign():
+        spec = CampaignSpec(
+            benchmarks=(name,),
+            configs=("rom",),
+            extra_configs=(("rom", (("obfuscate_roms", True),)),),
+            n_keys=5,
+            seed=1,
+            jobs=resolve_jobs(),
+        )
+        return run_campaign(spec).unit(name, config="rom").report
+
+    report = benchmark.pedantic(campaign, rounds=1, iterations=1)
     with capsys.disabled():
-        print(f"\n{name}: correct key ok={good.matches}, {corrupted}/4 wrong keys corrupt")
-    assert good.matches
-    assert corrupted == 4
+        print(
+            f"\n{name}: correct key ok={report.correct_key_ok}, "
+            f"{report.n_keys - 1}/{report.n_keys - 1} wrong keys corrupt"
+        )
+    assert report.correct_key_ok
+    assert report.wrong_keys_all_corrupt

@@ -13,9 +13,10 @@ Usage (after ``pip install -e .``)::
 ``obfuscate`` writes the obfuscated Verilog, the locking key, and a
 JSON key manifest; ``analyze`` prints the key apportionment (Eq. 1)
 without synthesizing; ``campaign`` runs the parallel validation engine
-over benchmark × parameter-config units and emits the unified
-``repro.campaign/1`` JSON schema (consumed by
-``repro.evaluation.report``).
+over benchmark × parameter-config × key-scheme × resource-budget
+units (repeat ``--config`` / ``--key-scheme`` / ``--budget`` to sweep
+each axis) and emits the unified ``repro.campaign/2`` JSON schema
+(consumed by ``repro.evaluation.report``).
 """
 
 from __future__ import annotations
@@ -198,6 +199,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.benchsuite import benchmark_names
     from repro.evaluation.report import format_campaign
     from repro.runtime.campaign import (
+        PRESET_BUDGETS,
         PRESET_CONFIGS,
         CampaignSpec,
         resolve_jobs,
@@ -218,6 +220,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f"unknown config(s): {', '.join(unknown_configs)}", file=sys.stderr
         )
         print(f"available: {', '.join(PRESET_CONFIGS)}", file=sys.stderr)
+        return 2
+    key_schemes = tuple(dict.fromkeys(args.key_scheme or ["replication"]))
+    budgets = tuple(dict.fromkeys(args.budget or ["default"]))
+    unknown_budgets = [b for b in budgets if b not in PRESET_BUDGETS]
+    if unknown_budgets:
+        print(
+            f"unknown budget(s): {', '.join(unknown_budgets)}", file=sys.stderr
+        )
+        print(f"available: {', '.join(PRESET_BUDGETS)}", file=sys.stderr)
         return 2
     known = benchmark_names()
     if args.benchmarks.strip().lower() == "all":
@@ -241,11 +252,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     spec = CampaignSpec(
         benchmarks=tuple(selected),
         configs=configs,
+        key_schemes=key_schemes,
+        resource_budgets=budgets,
         n_keys=args.keys,
         n_workloads=args.workloads,
         seed=args.seed,
         jobs=resolve_jobs(args.jobs),
-        key_scheme=args.key_scheme,
     )
     result = run_campaign(spec, collect_cache_stats=args.cache_stats)
     if args.output is not None:
@@ -317,7 +329,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(REPRO_JOBS, else cpu count, max 8)",
     )
     campaign.add_argument(
-        "--key-scheme", choices=("replication", "aes"), default="replication"
+        "--key-scheme",
+        action="append",
+        choices=("replication", "aes"),
+        help="key-management scheme(s) to sweep (paper §3.4; repeatable; "
+        "default: replication)",
+    )
+    campaign.add_argument(
+        "--budget",
+        action="append",
+        help="resource-budget preset(s) to sweep; see "
+        "repro.runtime.campaign.PRESET_BUDGETS (repeatable; "
+        "default: default)",
     )
     campaign.add_argument("-o", "--output", type=Path, default=None)
     campaign.add_argument(
@@ -328,8 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--cache-stats",
         action="store_true",
-        help="include summed per-unit cache-counter deltas in the JSON "
-        "(process-layout-dependent; nested key workers are uncounted)",
+        help="include summed cache-counter deltas in the JSON; counts "
+        "every trial including nested key workers (hit/miss split is "
+        "process-layout-dependent)",
     )
     campaign.set_defaults(func=cmd_campaign)
 

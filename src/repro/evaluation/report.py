@@ -2,11 +2,13 @@
 single markdown document (the machine-generated companion to
 EXPERIMENTS.md).
 
-Also the consumer of the unified campaign JSON (``repro.campaign/1``,
-see :mod:`repro.runtime.results`): :func:`format_campaign` renders a
+Also the consumer of the unified campaign JSON (``repro.campaign/2``,
+see :mod:`repro.runtime.results`; v1 documents are upgraded on load):
+:func:`format_campaign` renders a
 :class:`~repro.runtime.results.CampaignResult` — produced by
 ``repro campaign -o results.json`` or :func:`run_campaign` — as a
-markdown section, and :func:`render_campaign_file` does the same
+markdown section with one column per sweep axis (config, key scheme,
+resource budget), and :func:`render_campaign_file` does the same
 straight from a JSON file on disk.
 """
 
@@ -33,22 +35,46 @@ BENCHMARK_NAMES = ["gsm", "adpcm", "sobel", "backprop", "viterbi"]
 
 
 def format_campaign(result: "CampaignResult") -> str:
-    """Render a campaign result (the unified JSON schema) as markdown."""
+    """Render a campaign result (the unified JSON schema) as markdown.
+
+    Axis columns (key scheme, resource budget) appear only when the
+    campaign actually swept them, so single-axis tables stay compact.
+    """
+    show_scheme = len({u.key_scheme for u in result.units}) > 1
+    show_budget = len({u.budget for u in result.units}) > 1
+    header = ["benchmark", "config"]
+    if show_scheme:
+        header.append("scheme")
+    if show_budget:
+        header.append("budget")
+    header += [
+        "keys", "correct ok", "wrong corrupt",
+        "avg HD", "min HD", "max HD", "latency-chg",
+    ]
+    align = ["---", "---"] + ["---"] * (show_scheme + show_budget) + [
+        "---:", "---", "---", "---:", "---:", "---:", "---:",
+    ]
     lines = [
-        "| benchmark | config | keys | correct ok | wrong corrupt | "
-        "avg HD | min HD | max HD | latency-chg |",
-        "|---|---|---:|---|---|---:|---:|---:|---:|",
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(align) + "|",
     ]
     for unit in result.units:
         report = unit.report
-        lines.append(
-            f"| {unit.benchmark} | {unit.config} | {report.n_keys} "
-            f"| {report.correct_key_ok} | {report.wrong_keys_all_corrupt} "
-            f"| {100 * report.average_hamming:.1f}% "
-            f"| {100 * report.min_hamming:.1f}% "
-            f"| {100 * report.max_hamming:.1f}% "
-            f"| {report.latency_changed_keys} |"
-        )
+        cells = [unit.benchmark, unit.config]
+        if show_scheme:
+            cells.append(unit.key_scheme)
+        if show_budget:
+            cells.append(unit.budget)
+        cells += [
+            str(report.n_keys),
+            str(report.correct_key_ok),
+            str(report.wrong_keys_all_corrupt),
+            f"{100 * report.average_hamming:.1f}%",
+            f"{100 * report.min_hamming:.1f}%",
+            f"{100 * report.max_hamming:.1f}%",
+            str(report.latency_changed_keys),
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
     reports = [u.report for u in result.units]
     if reports:
         average = sum(r.average_hamming for r in reports) / len(reports)

@@ -3,9 +3,11 @@ results schema.
 
 * :mod:`repro.runtime.cache` — process-wide memoization of golden
   interpreter runs and front-end compilations;
-* :mod:`repro.runtime.campaign` — the parallel campaign engine
-  (``CampaignSpec`` / ``run_campaign`` / ``parallel_map``);
-* :mod:`repro.runtime.results` — the ``repro.campaign/1`` JSON schema.
+* :mod:`repro.runtime.campaign` — the parallel multi-axis campaign
+  engine (``CampaignSpec`` / ``run_campaign`` / ``parallel_map``;
+  axes: benchmark × config × key scheme × resource budget);
+* :mod:`repro.runtime.results` — the ``repro.campaign/2`` JSON schema
+  (upgrades ``/1`` documents on load).
 
 Only the cache layer is imported eagerly; campaign and results symbols
 are re-exported lazily because they sit above the ``tao`` layer in the
@@ -20,17 +22,24 @@ from repro.runtime.cache import (
     CacheStats,
     FrontEndCache,
     GoldenCache,
+    absorb_stats,
     cache_stats,
+    golden_fingerprint,
     reset_caches,
+    stats_delta,
 )
 
 _LAZY = {
     "CampaignSpec": "repro.runtime.campaign",
+    "KEY_SCHEMES": "repro.runtime.campaign",
+    "PRESET_BUDGETS": "repro.runtime.campaign",
     "PRESET_CONFIGS": "repro.runtime.campaign",
+    "budget_constraints": "repro.runtime.campaign",
     "derive_seed": "repro.runtime.campaign",
     "parallel_map": "repro.runtime.campaign",
     "resolve_jobs": "repro.runtime.campaign",
     "run_campaign": "repro.runtime.campaign",
+    "AXIS_LABELS": "repro.runtime.results",
     "CampaignResult": "repro.runtime.results",
     "CampaignUnit": "repro.runtime.results",
     "report_from_dict": "repro.runtime.results",
@@ -43,8 +52,11 @@ __all__ = [
     "FRONTEND_CACHE",
     "GoldenCache",
     "GOLDEN_CACHE",
+    "absorb_stats",
     "cache_stats",
+    "golden_fingerprint",
     "reset_caches",
+    "stats_delta",
     *sorted(_LAZY),
 ]
 

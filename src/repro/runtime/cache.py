@@ -14,11 +14,13 @@ Two hot paths dominate every validation campaign:
 
 Cache keys:
 
-* golden results: ``(id(module), func name, testbench fingerprint)``
-  where the fingerprint covers the scalar args, the array contents and
-  the observed-array selection.  A weak reference on the module purges
-  its entries when the module is garbage collected, so a recycled
-  ``id()`` can never alias a stale entry.
+* golden results: ``(golden fingerprint, func name, testbench
+  fingerprint)``.  The golden fingerprint is a *content* checksum of
+  the module as the golden interpreter sees it — obfuscated constants
+  canonicalize back to their design-time plaintext — so every
+  parameter config, key scheme and resource budget of one benchmark
+  addresses the same entry: a multi-axis sweep runs the software model
+  once per workload, not once per axis cell.
 * front-end modules: ``sha256(source)``.  The module name is cosmetic
   and is re-applied to each copy, so ``synthesize_pair``'s baseline and
   obfuscated compilations share one cache entry.
@@ -26,20 +28,23 @@ Cache keys:
 The module-level singletons (:data:`GOLDEN_CACHE`,
 :data:`FRONTEND_CACHE`) are per process; campaign workers each warm
 their own.  :func:`reset_caches` clears both (used by tests and by
-long-lived servers that want a cold start).
+long-lived servers that want a cold start).  Worker processes report
+their counter increments back as dicts (:func:`stats_delta`) and the
+parent folds them in with :func:`absorb_stats`, so telemetry stays
+honest across nested process pools.
 """
 
 from __future__ import annotations
 
 import copy
 import hashlib
-import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Hashable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.hls.design import FsmdDesign
     from repro.ir.function import Module
+    from repro.ir.instructions import Instruction
     from repro.sim.interpreter import ExecutionResult
     from repro.sim.testbench import Testbench
 
@@ -78,6 +83,87 @@ def testbench_fingerprint(
     )
 
 
+def _semantic_operand(operand) -> str:
+    """Render an operand as the golden interpreter reads it.
+
+    Obfuscated constants decode to their design-time plaintext under
+    the correct key, and that plaintext is what the interpreter uses —
+    so the fingerprint substitutes the original constant.  This (plus
+    obfuscation passes beyond constants operating on the FSMD, not the
+    IR) is what makes the fingerprint identical across every parameter
+    config, key scheme and resource budget of one benchmark.
+    """
+    from repro.ir.values import ObfuscatedConstant
+
+    if isinstance(operand, ObfuscatedConstant):
+        operand = operand.original
+    return str(operand)
+
+
+def _semantic_instruction(inst: "Instruction") -> str:
+    parts: list[str] = []
+    if inst.result is not None:
+        parts.append(f"{inst.result} = ")
+    parts.append(str(inst.opcode))
+    if inst.callee:
+        parts.append(f" @{inst.callee}")
+    if inst.array is not None:
+        parts.append(f" {inst.array.name}")
+    if inst.operands:
+        parts.append(" " + ", ".join(_semantic_operand(op) for op in inst.operands))
+    if inst.array_args:
+        # Call-site array bindings are interpreter-visible (the callee
+        # reads/writes the bound caller arrays) but absent from the IR
+        # printer — hash them or two modules differing only in which
+        # array a call passes would collide.
+        bindings = ", ".join(
+            f"{param}={arr.name}"
+            for param, arr in sorted(inst.array_args.items())
+        )
+        parts.append(f" [{bindings}]")
+    if inst.targets:
+        parts.append(" -> " + ", ".join(inst.targets))
+    return "".join(parts)
+
+
+def golden_fingerprint(module: "Module") -> str:
+    """Content checksum of ``module`` under golden (correct-key) semantics.
+
+    Hashes every function's signature, arrays (including initializer
+    contents, which ``str(module)`` omits but the interpreter reads)
+    and instructions, with obfuscated constants rendered as their
+    plaintext originals.  Two modules with equal fingerprints produce
+    identical golden executions for any workload, so the fingerprint —
+    not object identity — keys :class:`GoldenCache`.  In-place IR
+    mutation (an optimization or obfuscation pass run after a
+    simulation) changes the fingerprint and therefore misses instead
+    of serving stale golden outputs.
+    """
+    hasher = hashlib.sha256()
+    for func in module:
+        params = ", ".join(f"{p.type} {p.name}" for p in func.params)
+        hasher.update(
+            f"func {func.return_type} @{func.name}({params})\n".encode("utf-8")
+        )
+        for array in func.arrays.values():
+            init = (
+                tuple(array.initializer)
+                if array.initializer is not None
+                else None
+            )
+            hasher.update(
+                f"array {array.type} {array.name} param={array.is_param} "
+                f"init={init}\n".encode("utf-8")
+            )
+        for name, block in func.blocks.items():
+            hasher.update(f"{name}:\n".encode("utf-8"))
+            for inst in block.instructions:
+                hasher.update(
+                    (_semantic_instruction(inst) + "\n").encode("utf-8")
+                )
+    return hasher.hexdigest()
+
+
 def _copy_execution_result(result: "ExecutionResult") -> "ExecutionResult":
     """Defensive copy so callers cannot mutate the cached master."""
     from repro.sim.interpreter import ExecutionResult
@@ -91,27 +177,31 @@ def _copy_execution_result(result: "ExecutionResult") -> "ExecutionResult":
 
 
 class GoldenCache:
-    """Memoizes golden interpreter executions per ``(design, testbench)``.
+    """Memoizes golden interpreter executions per ``(content, testbench)``.
 
     The golden model is key-independent: a validation campaign that
     simulates N locking keys over the same workload needs the software
     reference exactly once.  Entries also store the flattened golden
     output bit vector so the Hamming baseline is not recomputed per key.
 
-    Entries are guarded two ways: a weak reference purges them when
-    the module is garbage collected (so a recycled ``id()`` cannot
-    alias a stale entry), and every hit re-checks a checksum of the
-    module's printed IR (~0.2 ms, versus tens of ms per golden run) so
-    in-place mutation of a live module — an optimization or
-    obfuscation pass run after a simulation — invalidates its entries
-    instead of serving stale golden outputs.
+    Keys are content-addressed via :func:`golden_fingerprint`: modules
+    rebuilt for different parameter configs, key schemes or resource
+    budgets of the same benchmark — or mutated in place — hash to the
+    fingerprint their golden semantics imply, so stale or aliased
+    entries cannot be served and identical workloads share one run.
+
+    Content keys have no owning object to garbage-collect with, so the
+    cache bounds itself: beyond ``max_entries`` the oldest entry is
+    evicted (insertion-order FIFO — campaigns touch each (content,
+    workload) pair in one burst, so recency ≈ insertion here), keeping
+    long-lived processes from accumulating every golden run forever.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int = 1024) -> None:
         self._entries: dict[
-            Hashable, tuple[str, "ExecutionResult", list[int]]
+            Hashable, tuple["ExecutionResult", list[int]]
         ] = {}
-        self._watched: dict[int, weakref.ref] = {}
+        self.max_entries = max_entries
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -119,7 +209,6 @@ class GoldenCache:
 
     def clear(self) -> None:
         self._entries.clear()
-        self._watched.clear()
         self.stats.reset()
 
     def golden_for(
@@ -131,35 +220,22 @@ class GoldenCache:
         """Golden execution + output bit vector, computed at most once."""
         module = design.module
         func_name = design.func.name
-        key = (id(module), func_name, testbench_fingerprint(bench, observed))
-        checksum = self._module_checksum(module)
+        key = (
+            golden_fingerprint(module),
+            func_name,
+            testbench_fingerprint(bench, observed),
+        )
         entry = self._entries.get(key)
-        if entry is None or entry[0] != checksum:
+        if entry is None:
             self.stats.misses += 1
-            golden, bits = self._compute(module, func_name, bench, observed)
-            entry = (checksum, golden, bits)
+            entry = self._compute(module, func_name, bench, observed)
+            while len(self._entries) >= max(1, self.max_entries):
+                self._entries.pop(next(iter(self._entries)))
             self._entries[key] = entry
-            self._watch(module)
         else:
             self.stats.hits += 1
-        _checksum, golden, bits = entry
+        golden, bits = entry
         return _copy_execution_result(golden), list(bits)
-
-    @staticmethod
-    def _module_checksum(module: "Module") -> str:
-        # str(module) prints local arrays as bare "alloc" lines, so hash
-        # initializer contents too — the interpreter reads them, and a
-        # ROM-mutating pass must invalidate the cached golden outputs.
-        hasher = hashlib.sha256(str(module).encode("utf-8"))
-        for func in module:
-            for array in func.arrays.values():
-                if array.initializer is not None:
-                    hasher.update(
-                        f"{func.name}.{array.name}:{tuple(array.initializer)}".encode(
-                            "utf-8"
-                        )
-                    )
-        return hasher.hexdigest()
 
     # ------------------------------------------------------------------
     def _compute(
@@ -179,18 +255,6 @@ class GoldenCache:
             golden.return_value, golden.arrays, observed, module, func_name
         )
         return golden, bits
-
-    def _watch(self, module: "Module") -> None:
-        mid = id(module)
-        if mid not in self._watched:
-            self._watched[mid] = weakref.ref(
-                module, lambda _ref, mid=mid: self._purge(mid)
-            )
-
-    def _purge(self, mid: int) -> None:
-        self._watched.pop(mid, None)
-        for key in [k for k in self._entries if k[0] == mid]:
-            del self._entries[key]
 
 
 class FrontEndCache:
@@ -255,3 +319,34 @@ def cache_stats() -> dict[str, dict[str, int]]:
         "golden": GOLDEN_CACHE.stats.as_dict(),
         "frontend": FRONTEND_CACHE.stats.as_dict(),
     }
+
+
+def stats_delta(
+    before: dict[str, dict[str, int]], after: dict[str, dict[str, int]]
+) -> dict[str, dict[str, int]]:
+    """Counter increments between two :func:`cache_stats` snapshots."""
+    return {
+        cache: {
+            counter: after[cache][counter] - before.get(cache, {}).get(counter, 0)
+            for counter in after[cache]
+        }
+        for cache in after
+    }
+
+
+def absorb_stats(delta: dict[str, dict[str, int]]) -> None:
+    """Fold a worker process's counter delta into this process's caches.
+
+    Used by nested key-level pools: each pool task measures its own
+    :func:`stats_delta` and the parent absorbs the sum, so campaign
+    telemetry counts every trial no matter how many process layers ran
+    it.  Only the counters move — cached entries stay in the process
+    that computed them.
+    """
+    stats_of = {"golden": GOLDEN_CACHE.stats, "frontend": FRONTEND_CACHE.stats}
+    for cache, counters in delta.items():
+        stats = stats_of.get(cache)
+        if stats is None:
+            raise KeyError(f"unknown cache in stats delta: {cache!r}")
+        stats.hits += counters.get("hits", 0)
+        stats.misses += counters.get("misses", 0)

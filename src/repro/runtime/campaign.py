@@ -3,28 +3,39 @@
 The §4.3 security validation simulates each obfuscated design under
 ~100 random locking keys, and Figure-6-style sweeps repeat that over
 benchmark × parameter configurations.  This module turns that shape
-into an explicit engine:
+into an explicit multi-axis engine:
 
 * :class:`CampaignSpec` declares the sweep — benchmarks, named
-  parameter configs (:data:`PRESET_CONFIGS`), key count, workloads and
-  worker count;
-* :func:`run_campaign` executes it, fanning units (benchmark × config)
-  across a :class:`~concurrent.futures.ProcessPoolExecutor` — or, for
-  a single-unit campaign, fanning the individual key trials instead —
+  parameter configs (:data:`PRESET_CONFIGS`), key-management schemes
+  (paper §3.4), named resource budgets (:data:`PRESET_BUDGETS`), key
+  count, workloads and worker count;
+* :func:`run_campaign` executes it, fanning units (benchmark × config
+  × key scheme × budget) across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` — or, for a
+  single-unit campaign, fanning the individual key trials instead —
   and returns a :class:`repro.runtime.results.CampaignResult` holding
-  the unified JSON document;
+  the unified ``repro.campaign/2`` JSON document;
 * :func:`parallel_map` is the shared fan-out primitive (also used by
   ``repro.tao.metrics.validate_component`` for key-level parallelism).
 
-Determinism contract: every unit's seed is *derived* (SHA-256 of
-``base seed : benchmark : config``), each worker rebuilds its component
-from that seed, and no result depends on scheduling order — so serial
-(``jobs=1``) and parallel runs of the same spec produce byte-identical
-JSON.  The tests assert this.
+Determinism contract: every unit's seed is *derived* (SHA-256 of the
+base seed and the unit's axis labels), each worker rebuilds its
+component from that seed, and no result depends on scheduling order —
+so serial (``jobs=1``) and parallel runs of the same spec produce
+byte-identical JSON.  The tests assert this.
+
+Workload seeds are derived from the *benchmark alone* (not the other
+axes): every config/scheme/budget cell of one benchmark validates
+against the same testbenches.  That is what makes cells comparable —
+and, with the content-addressed golden cache, what lets all cells of
+one benchmark share a single golden interpreter run per workload.
 
 Workers inherit nothing mutable from the parent: each process warms
 its own :mod:`repro.runtime.cache` singletons (golden interpreter
-results, front-end modules).
+results, front-end modules).  Key-level pools nested inside a unit
+report their cache-counter deltas back up (see
+:func:`repro.runtime.cache.absorb_stats`), so campaign telemetry
+counts every trial regardless of process layout.
 """
 
 from __future__ import annotations
@@ -47,6 +58,39 @@ PRESET_CONFIGS: dict[str, dict[str, Any]] = {
     "constants-only": {"obfuscate_branches": False, "obfuscate_dfg": False},
     "dfg-only": {"obfuscate_branches": False, "obfuscate_constants": False},
 }
+
+#: Working-key management schemes (paper §3.4): locking-key replication
+#: versus AES power-up decryption of an NVM-stored working key.
+KEY_SCHEMES: tuple[str, ...] = ("replication", "aes")
+
+#: Named resource-constraint presets for the budget axis.  Values are
+#: per-FU-kind instance limits (keys are ``FUKind`` values); ``None``
+#: means the scheduler's default ``ResourceConstraints``.  The tight
+#: and loose presets mirror the A3 ablation's adder/logic budgets.
+PRESET_BUDGETS: dict[str, Optional[dict[str, int]]] = {
+    "default": None,
+    "tight": {"addsub": 1, "logic": 1},
+    "loose": {"addsub": 4, "logic": 4},
+}
+
+
+def budget_constraints(budget: str):
+    """``ResourceConstraints`` for a :data:`PRESET_BUDGETS` name.
+
+    Returns ``None`` for the default budget (the scheduler applies its
+    own defaults); raises ``KeyError`` for unknown names.
+    """
+    if budget not in PRESET_BUDGETS:
+        raise KeyError(f"unknown resource budget {budget!r}")
+    limits = PRESET_BUDGETS[budget]
+    if limits is None:
+        return None
+    from repro.hls.resources import FUKind, ResourceConstraints
+
+    constraints = ResourceConstraints()
+    for kind_name, limit in limits.items():
+        constraints.limits[FUKind(kind_name)] = limit
+    return constraints
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -142,20 +186,47 @@ def parallel_map(
 class CampaignSpec:
     """Declarative description of one validation campaign.
 
-    ``configs`` names entries of :data:`PRESET_CONFIGS` (or keys of
-    ``extra_configs`` for ad-hoc parameter overrides).  ``jobs`` is an
-    execution knob only: it is deliberately excluded from the
-    serialized spec so parallel and serial runs emit identical JSON.
+    Four sweep axes multiply into units: ``benchmarks`` ×
+    ``configs`` × ``key_schemes`` × ``resource_budgets``.  ``configs``
+    names entries of :data:`PRESET_CONFIGS` (or keys of
+    ``extra_configs`` for ad-hoc parameter overrides), ``key_schemes``
+    names entries of :data:`KEY_SCHEMES` and ``resource_budgets``
+    entries of :data:`PRESET_BUDGETS`.  ``jobs`` is an execution knob
+    only: it is deliberately excluded from the serialized spec so
+    parallel and serial runs emit identical JSON.
+
+    ``extra_configs`` is normalized on construction (entries and their
+    override items are sorted), so a spec rebuilt from ``to_dict()``
+    compares equal to the original regardless of insertion order.
     """
 
     benchmarks: tuple[str, ...]
     configs: tuple[str, ...] = ("default",)
+    key_schemes: tuple[str, ...] = ("replication",)
+    resource_budgets: tuple[str, ...] = ("default",)
     n_keys: int = 20
     n_workloads: int = 1
     seed: int = 7
     jobs: int = 1
-    key_scheme: str = "replication"
     extra_configs: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        object.__setattr__(self, "configs", tuple(self.configs))
+        object.__setattr__(self, "key_schemes", tuple(self.key_schemes))
+        object.__setattr__(
+            self, "resource_budgets", tuple(self.resource_budgets)
+        )
+        object.__setattr__(
+            self,
+            "extra_configs",
+            tuple(
+                sorted(
+                    (name, tuple(sorted(tuple(item) for item in overrides)))
+                    for name, overrides in self.extra_configs
+                )
+            ),
+        )
 
     def config_overrides(self, config: str) -> dict[str, Any]:
         for name, overrides in self.extra_configs:
@@ -165,25 +236,32 @@ class CampaignSpec:
             return dict(PRESET_CONFIGS[config])
         raise KeyError(f"unknown campaign config {config!r}")
 
-    def units(self) -> list[tuple[str, str]]:
-        """Deterministic (benchmark, config) enumeration order."""
-        return [(b, c) for b in self.benchmarks for c in self.configs]
+    def units(self) -> list[tuple[str, str, str, str]]:
+        """Deterministic (benchmark, config, scheme, budget) enumeration."""
+        return [
+            (b, c, s, r)
+            for b in self.benchmarks
+            for c in self.configs
+            for s in self.key_schemes
+            for r in self.resource_budgets
+        ]
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "benchmarks": list(self.benchmarks),
             "configs": list(self.configs),
+            "key_schemes": list(self.key_schemes),
+            "resource_budgets": list(self.resource_budgets),
             "n_keys": self.n_keys,
             "n_workloads": self.n_workloads,
             "seed": self.seed,
-            "key_scheme": self.key_scheme,
             "extra_configs": {
                 name: dict(overrides) for name, overrides in self.extra_configs
             },
         }
 
 
-def _run_unit(shared: Any, task: tuple[str, str]) -> dict[str, Any]:
+def _run_unit(shared: Any, task: tuple[str, str, str, str]) -> dict[str, Any]:
     """Worker body: build the component and run one unit's campaign.
 
     Rebuilds everything from the (deterministic) spec rather than
@@ -194,9 +272,9 @@ def _run_unit(shared: Any, task: tuple[str, str]) -> dict[str, Any]:
     process boundaries in the canonical form.
     """
     spec_dict, key_parallel_jobs = shared
-    benchmark_name, config = task
+    benchmark_name, config, key_scheme, budget = task
     from repro.benchsuite import get_benchmark
-    from repro.runtime.cache import cache_stats
+    from repro.runtime.cache import cache_stats, stats_delta
     from repro.runtime.results import report_to_dict
     from repro.tao.flow import TaoFlow
     from repro.tao.key import ObfuscationParameters
@@ -205,12 +283,19 @@ def _run_unit(shared: Any, task: tuple[str, str]) -> dict[str, Any]:
     stats_before = cache_stats()
     spec = _spec_from_dict(spec_dict)
     overrides = spec.config_overrides(config)
-    seed = derive_seed(spec.seed, benchmark_name, config)
+    seed = derive_seed(spec.seed, benchmark_name, config, key_scheme, budget)
+    workload_seed = derive_seed(spec.seed, "workloads", benchmark_name)
     bench = get_benchmark(benchmark_name)
     params = ObfuscationParameters(**overrides)
-    flow = TaoFlow(params=params, key_scheme=spec.key_scheme)
+    flow = TaoFlow(
+        params=params,
+        constraints=budget_constraints(budget),
+        key_scheme=key_scheme,
+    )
     component = flow.obfuscate(bench.source, bench.top)
-    workloads = bench.make_testbenches(seed=seed, count=spec.n_workloads)
+    workloads = bench.make_testbenches(
+        seed=workload_seed, count=spec.n_workloads
+    )
     report = validate_component(
         component,
         workloads,
@@ -222,23 +307,14 @@ def _run_unit(shared: Any, task: tuple[str, str]) -> dict[str, Any]:
         "unit": {
             "benchmark": benchmark_name,
             "config": config,
+            "key_scheme": key_scheme,
+            "budget": budget,
             "params": overrides,
             "seed": seed,
+            "workload_seed": workload_seed,
             "report": report_to_dict(report),
         },
-        "cache_delta": _stats_delta(stats_before, cache_stats()),
-    }
-
-
-def _stats_delta(
-    before: dict[str, dict[str, int]], after: dict[str, dict[str, int]]
-) -> dict[str, dict[str, int]]:
-    return {
-        cache: {
-            counter: after[cache][counter] - before[cache].get(counter, 0)
-            for counter in after[cache]
-        }
-        for cache in after
+        "cache_delta": stats_delta(stats_before, cache_stats()),
     }
 
 
@@ -246,12 +322,13 @@ def _spec_from_dict(data: dict[str, Any]) -> CampaignSpec:
     return CampaignSpec(
         benchmarks=tuple(data["benchmarks"]),
         configs=tuple(data["configs"]),
+        key_schemes=tuple(data.get("key_schemes", ("replication",))),
+        resource_budgets=tuple(data.get("resource_budgets", ("default",))),
         n_keys=data["n_keys"],
         n_workloads=data["n_workloads"],
         seed=data["seed"],
-        key_scheme=data["key_scheme"],
         extra_configs=tuple(
-            (name, tuple(sorted(overrides.items())))
+            (name, tuple(overrides.items()))
             for name, overrides in data.get("extra_configs", {}).items()
         ),
     )
@@ -261,19 +338,24 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
     """Execute ``spec`` and return a :class:`CampaignResult`.
 
     Fan-out strategy: parallelism is applied across units (each worker
-    runs one benchmark × config), and any worker budget beyond the
-    unit count is handed down as key-level parallelism — a single-unit
-    campaign fans its key trials over every core, and ``--jobs 8``
-    over 2 units gives each unit 4 key workers.  The split uses ceil
-    division, so a budget that does not divide evenly (8 jobs over 5
-    units → 2 key workers each) mildly oversubscribes rather than
-    idling the surplus.  Every layout produces the same JSON as
-    ``jobs=1``.
+    runs one benchmark × config × scheme × budget cell), and any
+    worker budget beyond the unit count is handed down as key-level
+    parallelism — a single-unit campaign fans its key trials over
+    every core, and ``--jobs 8`` over 2 units gives each unit 4 key
+    workers.  The split uses ceil division, so a budget that does not
+    divide evenly (8 jobs over 5 units → 2 key workers each) mildly
+    oversubscribes rather than idling the surplus.  Every layout
+    produces the same JSON as ``jobs=1``.
 
     ``collect_cache_stats`` attaches the summed per-unit cache-counter
-    deltas (measured inside whichever process ran each unit) to
-    ``result.cache``; the counts are honest under parallelism but
-    process-layout-dependent, which is why they stay out of ``units``.
+    deltas to ``result.cache``.  Each unit's delta includes the deltas
+    its nested key-level pool workers reported back, so the totals
+    count every trial; the hit/miss *split* is process-layout-dependent
+    (separate workers each warm their own caches), which is why the
+    telemetry stays out of ``units``.  A ``jobs=1`` campaign runs in
+    one process, where golden-cache misses equal benchmarks ×
+    workloads: the content-addressed cache shares golden runs across
+    every config, scheme and budget of a benchmark.
     """
     from repro.runtime.results import CampaignResult, CampaignUnit
 
@@ -281,8 +363,8 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
     tasks = spec.units()
     if not tasks:
         raise ValueError(
-            "campaign spec has no units: benchmarks and configs must both "
-            "be non-empty"
+            "campaign spec has no units: benchmarks, configs, key_schemes "
+            "and resource_budgets must all be non-empty"
         )
     spec_dict = spec.to_dict()
     jobs = max(1, spec.jobs)

@@ -8,14 +8,18 @@ parse one format:
 .. code-block:: text
 
     {
-      "schema": "repro.campaign/1",
+      "schema": "repro.campaign/2",
       "spec": {... echo of the CampaignSpec ...},
+      "axes": {... per-axis unit labels (AXIS_LABELS) ...},
       "units": [
         {
           "benchmark": "sobel",
-          "config": "default",
+          "config": "default",           # parameter-config axis
+          "key_scheme": "replication",   # key-management axis (§3.4)
+          "budget": "default",           # resource-budget axis
           "params": {...non-default ObfuscationParameters...},
-          "seed": 123456,            # per-unit derived seed
+          "seed": 123456,                # per-unit derived seed
+          "workload_seed": 987654,       # per-benchmark workload seed
           "report": {... ValidationReport ...}
         },
         ...
@@ -27,6 +31,12 @@ Locking keys serialize as hex strings.  The schema is deliberately
 timing-free: serial and parallel runs of the same spec produce
 byte-identical JSON (the determinism contract the tests assert); wall
 time and worker counts live outside ``units``.
+
+Version history: ``repro.campaign/1`` had (benchmark × config) units
+and a scalar ``key_scheme`` in the spec.  ``/2`` adds the key-scheme
+and resource-budget axes, per-unit ``workload_seed``, and the ``axes``
+label block.  :meth:`CampaignResult.from_dict` upgrades v1 documents
+in place (scalar scheme → one-element axis, default budget).
 """
 
 from __future__ import annotations
@@ -39,7 +49,16 @@ from typing import Any, Optional
 from repro.tao.key import LockingKey
 from repro.tao.metrics import KeyTrialResult, ValidationReport
 
-SCHEMA = "repro.campaign/1"
+SCHEMA = "repro.campaign/2"
+SCHEMA_V1 = "repro.campaign/1"
+
+#: Human-readable unit label per sweep axis, embedded in every document
+#: so downstream renderers can annotate columns without hard-coding.
+AXIS_LABELS: dict[str, str] = {
+    "config": "obfuscation-parameter preset (ObfuscationParameters overrides)",
+    "key_scheme": "working-key management scheme (paper §3.4)",
+    "budget": "resource-budget preset (FU instance limits per kind)",
+}
 
 
 # ----------------------------------------------------------------------
@@ -109,20 +128,26 @@ def report_from_dict(data: dict[str, Any]) -> ValidationReport:
 # ----------------------------------------------------------------------
 @dataclass
 class CampaignUnit:
-    """One (benchmark, parameter-config) cell of a campaign sweep."""
+    """One (benchmark, config, key scheme, budget) cell of a sweep."""
 
     benchmark: str
     config: str
     params: dict[str, Any]
     seed: int
     report: ValidationReport
+    key_scheme: str = "replication"
+    budget: str = "default"
+    workload_seed: Optional[int] = None
 
     def to_dict(self, include_trials: bool = True) -> dict[str, Any]:
         return {
             "benchmark": self.benchmark,
             "config": self.config,
+            "key_scheme": self.key_scheme,
+            "budget": self.budget,
             "params": dict(self.params),
             "seed": self.seed,
+            "workload_seed": self.workload_seed,
             "report": report_to_dict(self.report, include_trials),
         }
 
@@ -131,10 +156,35 @@ class CampaignUnit:
         return cls(
             benchmark=data["benchmark"],
             config=data["config"],
+            key_scheme=data.get("key_scheme", "replication"),
+            budget=data.get("budget", "default"),
             params=dict(data["params"]),
             seed=data["seed"],
+            workload_seed=data.get("workload_seed"),
             report=report_from_dict(data["report"]),
         )
+
+
+def _upgrade_v1(data: dict[str, Any]) -> dict[str, Any]:
+    """Lift a ``repro.campaign/1`` document to the ``/2`` shape.
+
+    v1 units carried no per-axis labels; the spec's scalar
+    ``key_scheme`` applies to every unit and the budget axis did not
+    exist yet (all v1 campaigns ran the scheduler defaults).
+    """
+    spec = dict(data.get("spec", {}))
+    scheme = spec.pop("key_scheme", "replication")
+    spec.setdefault("key_schemes", [scheme])
+    spec.setdefault("resource_budgets", ["default"])
+    return {
+        "schema": SCHEMA,
+        "spec": spec,
+        "units": [
+            {**unit, "key_scheme": scheme, "budget": "default"}
+            for unit in data.get("units", [])
+        ],
+        **({"cache": data["cache"]} if "cache" in data else {}),
+    }
 
 
 @dataclass
@@ -146,16 +196,32 @@ class CampaignResult:
     cache: Optional[dict[str, Any]] = None
     elapsed_seconds: Optional[float] = None
 
-    def unit(self, benchmark: str, config: str = "default") -> CampaignUnit:
+    def unit(
+        self,
+        benchmark: str,
+        config: str = "default",
+        key_scheme: Optional[str] = None,
+        budget: Optional[str] = None,
+    ) -> CampaignUnit:
+        """First unit matching the given axis labels (None = any)."""
         for unit in self.units:
-            if unit.benchmark == benchmark and unit.config == config:
+            if (
+                unit.benchmark == benchmark
+                and unit.config == config
+                and (key_scheme is None or unit.key_scheme == key_scheme)
+                and (budget is None or unit.budget == budget)
+            ):
                 return unit
-        raise KeyError(f"no unit ({benchmark!r}, {config!r}) in campaign")
+        raise KeyError(
+            f"no unit ({benchmark!r}, {config!r}, scheme={key_scheme!r}, "
+            f"budget={budget!r}) in campaign"
+        )
 
     def to_dict(self, include_trials: bool = True) -> dict[str, Any]:
         data: dict[str, Any] = {
             "schema": SCHEMA,
             "spec": dict(self.spec),
+            "axes": dict(AXIS_LABELS),
             "units": [u.to_dict(include_trials) for u in self.units],
         }
         if self.cache is not None:
@@ -175,10 +241,13 @@ class CampaignResult:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CampaignResult":
-        if data.get("schema") != SCHEMA:
+        schema = data.get("schema")
+        if schema == SCHEMA_V1:
+            data = _upgrade_v1(data)
+        elif schema != SCHEMA:
             raise ValueError(
-                f"unsupported campaign schema {data.get('schema')!r} "
-                f"(expected {SCHEMA!r})"
+                f"unsupported campaign schema {schema!r} "
+                f"(expected {SCHEMA!r} or upgradable {SCHEMA_V1!r})"
             )
         return cls(
             spec=dict(data["spec"]),

@@ -111,7 +111,9 @@ class AesKeyManager:
         cipher = AES(locking_key.to_bytes())
         plaintext = cipher.encrypt_ctr(self.nvm_contents, nonce=0)  # CTR: enc == dec
         working = int.from_bytes(plaintext, "little")
-        return working & ((1 << max(1, self.working_key_bits)) - 1)
+        # A zero-width working key has no bits: mask to 0, never to the
+        # NVM byte's low bit (the image always stores at least one byte).
+        return working & ((1 << self.working_key_bits) - 1)
 
     def overhead(self) -> KeyManagementOverhead:
         return KeyManagementOverhead(

@@ -155,11 +155,21 @@ def run_key_trial(
     )
 
 
-def _key_trial_worker(shared, key_bits: int) -> KeyTrialResult:
-    """Module-level trampoline so pool workers can unpickle the task."""
+def _key_trial_worker(shared, key_bits: int):
+    """Module-level trampoline so pool workers can unpickle the task.
+
+    Returns ``(trial, cache_delta)``: the worker measures its own
+    cache-counter increments per task so the parent can absorb them —
+    trials run in nested pools would otherwise vanish from campaign
+    telemetry (the workers' counters die with their processes).
+    """
+    from repro.runtime.cache import cache_stats, stats_delta
+
     component, benches, cycle_cap, width = shared
+    stats_before = cache_stats()
     key = LockingKey(bits=key_bits, width=width)
-    return run_key_trial(component, benches, key, cycle_cap)
+    trial = run_key_trial(component, benches, key, cycle_cap)
+    return trial, stats_delta(stats_before, cache_stats())
 
 
 def build_report(
@@ -222,7 +232,9 @@ def validate_component(
     ``n_keys`` must be at least 2: a campaign with no wrong keys can
     only report vacuous success.  With ``jobs > 1`` the wrong-key
     trials run on a process pool; keys are drawn up front from ``seed``
-    so the report is identical to a serial run.
+    so the report is identical to a serial run, and the workers' cache
+    counters are folded back into this process so telemetry counts
+    every trial.
     """
     if n_keys < 2:
         raise ValueError(
@@ -245,15 +257,22 @@ def validate_component(
     cap = _cycle_cap(baseline_cycles, max_cycles)
 
     if jobs > 1 and len(wrong_keys) > 1:
+        from repro.runtime.cache import absorb_stats
         from repro.runtime.campaign import parallel_map
 
-        wrong_trials = parallel_map(
+        outcomes = parallel_map(
             _key_trial_worker,
             [key.bits for key in wrong_keys],
             shared=(component, benches, cap, correct.width),
             jobs=jobs,
             chunksize=max(1, len(wrong_keys) // (4 * jobs)),
         )
+        wrong_trials = [trial for trial, _delta in outcomes]
+        # Fold the workers' counter deltas into this process so
+        # cache_stats() (and campaign --cache-stats) counts every
+        # trial, not just the ones run inline.
+        for _trial, delta in outcomes:
+            absorb_stats(delta)
     else:
         wrong_trials = [
             run_key_trial(component, benches, key, cap) for key in wrong_keys

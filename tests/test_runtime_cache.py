@@ -6,11 +6,14 @@ from repro.runtime.cache import (
     FRONTEND_CACHE,
     GOLDEN_CACHE,
     GoldenCache,
+    absorb_stats,
     cache_stats,
+    golden_fingerprint,
     reset_caches,
+    stats_delta,
 )
 from repro.sim import Testbench, run_testbench
-from repro.tao import TaoFlow
+from repro.tao import ObfuscationParameters, TaoFlow
 
 SOURCE = """
 int kernel(int seed, int out[4]) {
@@ -131,6 +134,78 @@ class TestGoldenCache:
         assert cached.golden_bits == fresh.golden_bits
         assert cached.golden.return_value == fresh.golden.return_value
         assert cached.golden.arrays == fresh.golden.arrays
+
+
+class TestGoldenFingerprint:
+    def test_stable_across_rebuilds_and_configs(self, component):
+        # Distinct module objects, distinct obfuscation configs and key
+        # schemes — identical golden semantics, identical fingerprint.
+        rebuilt = TaoFlow().obfuscate(SOURCE, "kernel")
+        dfg_only = TaoFlow(
+            params=ObfuscationParameters(
+                obfuscate_branches=False, obfuscate_constants=False
+            )
+        ).obfuscate(SOURCE, "kernel")
+        aes = TaoFlow(key_scheme="aes").obfuscate(SOURCE, "kernel")
+        reference = golden_fingerprint(component.design.module)
+        for other in (rebuilt, dfg_only, aes):
+            assert other.design.module is not component.design.module
+            assert golden_fingerprint(other.design.module) == reference
+
+    def test_differs_across_sources(self, component):
+        other = TaoFlow().obfuscate(SOURCE.replace("21", "22"), "kernel")
+        assert golden_fingerprint(other.design.module) != golden_fingerprint(
+            component.design.module
+        )
+
+    def test_call_array_bindings_hashed(self):
+        # Two programs differing only in WHICH array a call passes must
+        # not collide: array_args is interpreter-visible but absent
+        # from the IR printer, so the fingerprint hashes it explicitly.
+        template = """
+        int helper(int src[4], int n) {{
+          int total = 0;
+          for (int i = 0; i < n; i++) total = total + src[i];
+          return total;
+        }}
+        int top(int a[4], int b[4], int out[4]) {{
+          int x = helper({arg}, 4);
+          out[0] = x;
+          return x;
+        }}
+        """
+        from repro.frontend.lowering import compile_c
+
+        mod_a = compile_c(template.format(arg="a"), "m")
+        mod_b = compile_c(template.format(arg="b"), "m")
+        assert golden_fingerprint(mod_a) != golden_fingerprint(mod_b)
+
+    def test_eviction_bound_respected(self, component):
+        private = GoldenCache(max_entries=2)
+        key = component.correct_working_key
+        for seed in range(4):
+            run_testbench(
+                component.design,
+                Testbench(args=[seed]),
+                working_key=key,
+                golden_cache=private,
+            )
+        assert len(private) == 2  # FIFO-bounded, oldest evicted
+        assert private.stats.misses == 4
+
+
+class TestStatsPlumbing:
+    def test_stats_delta_and_absorb(self):
+        before = cache_stats()
+        TaoFlow().compile_front_end(SOURCE)
+        delta = stats_delta(before, cache_stats())
+        assert delta["frontend"]["misses"] == 1
+        absorb_stats(delta)  # fold the same delta in again
+        assert cache_stats()["frontend"]["misses"] == 2
+
+    def test_absorb_rejects_unknown_cache(self):
+        with pytest.raises(KeyError, match="unknown cache"):
+            absorb_stats({"bogus": {"hits": 1}})
 
 
 class TestFrontEndCache:

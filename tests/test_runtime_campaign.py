@@ -3,9 +3,12 @@
 * ``n_keys < 2`` raises instead of reporting vacuous success;
 * wrong-key generation is bounded and deduplicated (narrow widths
   terminate);
-* the golden model is interpreted exactly once per (design, testbench)
-  during a campaign;
-* parallel and serial campaigns emit byte-identical JSON.
+* the golden model is interpreted exactly once per (content, testbench)
+  during a campaign — shared across configs, schemes and budgets;
+* parallel and serial campaigns emit byte-identical JSON;
+* cache telemetry counts trials run in nested key-level pools;
+* multi-axis sweeps (config × key scheme × resource budget) enumerate,
+  execute and serialize (``repro.campaign/2``) correctly.
 """
 
 import json
@@ -15,13 +18,17 @@ import pytest
 
 from repro.runtime.cache import GOLDEN_CACHE, reset_caches
 from repro.runtime.campaign import (
+    PRESET_BUDGETS,
     CampaignSpec,
+    _spec_from_dict,
+    budget_constraints,
     derive_seed,
     parallel_map,
     resolve_jobs,
     run_campaign,
 )
 from repro.runtime.results import (
+    AXIS_LABELS,
     CampaignResult,
     report_from_dict,
     report_to_dict,
@@ -138,6 +145,67 @@ class TestGoldenMemoization:
         assert GOLDEN_CACHE.stats.misses == 2
         assert GOLDEN_CACHE.stats.hits == 2 * 5 - 2
 
+    def test_golden_shared_across_param_configs(self):
+        # Content addressing: dfg-only and constants-obfuscating flows
+        # rebuild different module objects for the same source, but the
+        # golden semantics (obfuscated constants decode to their
+        # plaintext) are identical — one interpreter run serves both.
+        GOLDEN_CACHE.clear()
+        default = TaoFlow().obfuscate(SOURCE, "kernel")
+        dfg_only = TaoFlow(
+            params=ObfuscationParameters(
+                obfuscate_branches=False, obfuscate_constants=False
+            )
+        ).obfuscate(SOURCE, "kernel")
+        validate_component(default, [BENCH], n_keys=3)
+        validate_component(dfg_only, [BENCH], n_keys=3)
+        assert GOLDEN_CACHE.stats.misses == 1
+        assert GOLDEN_CACHE.stats.hits == 2 * 3 - 1
+
+    def test_campaign_golden_misses_benchmarks_times_workloads(self):
+        # Acceptance: a serial multi-axis campaign interprets the
+        # golden model once per (benchmark, workload) — NOT once per
+        # config/scheme/budget cell.
+        spec = CampaignSpec(
+            benchmarks=("sobel", "adpcm"),
+            configs=("default", "dfg-only"),
+            key_schemes=("replication", "aes"),
+            n_keys=2,
+            n_workloads=1,
+            jobs=1,
+        )
+        result = run_campaign(spec, collect_cache_stats=True)
+        assert len(result.units) == 8
+        golden = result.cache["golden"]
+        assert golden["misses"] == len(spec.benchmarks) * spec.n_workloads
+        # Every unit's every trial did exactly one lookup per workload.
+        assert golden["hits"] + golden["misses"] == (
+            len(result.units) * spec.n_keys * spec.n_workloads
+        )
+        # The front end compiled each benchmark source once, total.
+        assert result.cache["frontend"]["misses"] == len(spec.benchmarks)
+        for unit in result.units:
+            assert unit.report.correct_key_ok
+            assert unit.report.wrong_keys_all_corrupt
+
+
+class TestCacheTelemetry:
+    def test_nested_key_workers_counted(self):
+        # Single unit with jobs=4: the unit runs inline and fans its
+        # key trials over a nested pool.  Every trial's golden lookup
+        # must appear in the campaign telemetry (they were dropped
+        # before the workers reported deltas back).
+        spec = CampaignSpec(benchmarks=("sobel",), n_keys=6, jobs=4)
+        result = run_campaign(spec, collect_cache_stats=True)
+        golden = result.cache["golden"]
+        assert golden["hits"] + golden["misses"] == spec.n_keys
+
+    def test_validate_component_jobs_absorbs_worker_stats(self, component):
+        GOLDEN_CACHE.clear()
+        validate_component(component, [BENCH], n_keys=6, jobs=3)
+        # 6 trials x 1 workload = 6 lookups, wherever they ran.
+        assert GOLDEN_CACHE.stats.lookups == 6
+
 
 class TestParallelDeterminism:
     def test_key_parallel_equals_serial(self, component):
@@ -162,6 +230,38 @@ class TestParallelDeterminism:
         serial = run_campaign(CampaignSpec(jobs=1, **base))
         nested = run_campaign(CampaignSpec(jobs=4, **base))
         assert serial.to_json() == nested.to_json()
+
+    def test_multi_axis_parallel_equals_serial(self):
+        # Acceptance: 2 benchmarks x {default, dfg-only} x
+        # {replication, aes} is byte-identical between --jobs 1 and 8.
+        base = dict(
+            benchmarks=("sobel", "adpcm"),
+            configs=("default", "dfg-only"),
+            key_schemes=("replication", "aes"),
+            n_keys=2,
+            seed=13,
+        )
+        serial = run_campaign(CampaignSpec(jobs=1, **base))
+        parallel = run_campaign(CampaignSpec(jobs=8, **base))
+        assert serial.to_json() == parallel.to_json()
+        assert serial.to_dict()["schema"] == "repro.campaign/2"
+
+    def test_workloads_shared_across_axes(self):
+        # Workload seeds derive from the benchmark alone: every
+        # config/scheme/budget cell of one benchmark validates against
+        # the same testbenches (what makes cells comparable and golden
+        # runs shareable).
+        spec = CampaignSpec(
+            benchmarks=("sobel",),
+            configs=("default", "dfg-only"),
+            key_schemes=("replication", "aes"),
+            n_keys=2,
+        )
+        result = run_campaign(spec)
+        seeds = {u.workload_seed for u in result.units}
+        assert len(seeds) == 1
+        unit_seeds = {u.seed for u in result.units}
+        assert len(unit_seeds) == len(result.units)  # keys still differ
 
     def test_parallel_map_preserves_order(self):
         doubled = parallel_map(_double, [3, 1, 2], shared=10, jobs=2)
@@ -211,8 +311,8 @@ class TestCampaignEngine:
             benchmarks=("sobel",), configs=("default", "branches-only"), n_keys=2
         )
         assert spec.units() == [
-            ("sobel", "default"),
-            ("sobel", "branches-only"),
+            ("sobel", "default", "replication", "default"),
+            ("sobel", "branches-only", "replication", "default"),
         ]
         assert spec.config_overrides("branches-only") == {
             "obfuscate_constants": False,
@@ -220,6 +320,69 @@ class TestCampaignEngine:
         }
         with pytest.raises(KeyError):
             spec.config_overrides("nope")
+
+    def test_multi_axis_units_enumerate_all_cells(self):
+        spec = CampaignSpec(
+            benchmarks=("sobel", "adpcm"),
+            configs=("default", "dfg-only"),
+            key_schemes=("replication", "aes"),
+            resource_budgets=("default", "tight"),
+        )
+        units = spec.units()
+        assert len(units) == 2 * 2 * 2 * 2
+        assert len(set(units)) == len(units)
+        # benchmark-major, budget-minor enumeration order.
+        assert units[0] == ("sobel", "default", "replication", "default")
+        assert units[1] == ("sobel", "default", "replication", "tight")
+        assert units[-1] == ("adpcm", "dfg-only", "aes", "tight")
+
+    def test_budget_constraints_presets(self):
+        from repro.hls.resources import FUKind
+
+        assert budget_constraints("default") is None
+        tight = budget_constraints("tight")
+        assert tight.limits[FUKind.ADDSUB] == 1
+        assert tight.limits[FUKind.LOGIC] == 1
+        loose = budget_constraints("loose")
+        assert loose.limits[FUKind.ADDSUB] == 4
+        with pytest.raises(KeyError, match="unknown resource budget"):
+            budget_constraints("bogus")
+
+    def test_spec_dict_round_trip_equality(self):
+        # Regression: overrides arrive in arbitrary insertion order and
+        # the rebuilt spec used to compare unequal to the original.
+        spec = CampaignSpec(
+            benchmarks=("sobel",),
+            configs=("zcustom", "acustom"),
+            key_schemes=("aes", "replication"),
+            resource_budgets=("tight", "default"),
+            n_keys=3,
+            extra_configs=(
+                ("zcustom", (("obfuscate_dfg", False), ("block_bits", 2))),
+                ("acustom", (("constant_width", 16), ("block_bits", 5))),
+            ),
+        )
+        assert _spec_from_dict(spec.to_dict()) == spec
+        # JSON round-trip too (what a results file actually stores).
+        assert _spec_from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_extra_configs_normalized_on_construction(self):
+        a = CampaignSpec(
+            benchmarks=("sobel",),
+            extra_configs=(
+                ("x", (("b", 1), ("a", 2))),
+                ("w", (("c", 3),)),
+            ),
+        )
+        b = CampaignSpec(
+            benchmarks=("sobel",),
+            extra_configs=(
+                ("w", (("c", 3),)),
+                ("x", (("a", 2), ("b", 1))),
+            ),
+        )
+        assert a == b
+        assert a.config_overrides("x") == {"a": 2, "b": 1}
 
 
 class TestResultsSchema:
@@ -237,6 +400,56 @@ class TestResultsSchema:
     def test_schema_guard(self):
         with pytest.raises(ValueError, match="schema"):
             CampaignResult.from_dict({"schema": "bogus/9", "spec": {}, "units": []})
+
+    def test_v1_document_upgrades(self):
+        v1 = {
+            "schema": "repro.campaign/1",
+            "spec": {
+                "benchmarks": ["sobel"],
+                "configs": ["default"],
+                "n_keys": 2,
+                "n_workloads": 1,
+                "seed": 7,
+                "key_scheme": "aes",
+                "extra_configs": {},
+            },
+            "units": [
+                {
+                    "benchmark": "sobel",
+                    "config": "default",
+                    "params": {},
+                    "seed": 42,
+                    "report": {
+                        "component_name": "sobel",
+                        "n_keys": 2,
+                        "correct_key_ok": True,
+                        "wrong_keys_all_corrupt": True,
+                        "average_hamming": 0.5,
+                        "min_hamming": 0.5,
+                        "max_hamming": 0.5,
+                        "baseline_cycles": 100,
+                        "latency_changed_keys": 0,
+                        "trials": [],
+                    },
+                }
+            ],
+        }
+        result = CampaignResult.from_dict(v1)
+        unit = result.unit("sobel")
+        assert unit.key_scheme == "aes"  # spec's scalar scheme applied
+        assert unit.budget == "default"
+        assert result.spec["key_schemes"] == ["aes"]
+        assert result.spec["resource_budgets"] == ["default"]
+        assert result.to_dict()["schema"] == "repro.campaign/2"
+
+    def test_axes_labels_embedded(self):
+        result = run_campaign(CampaignSpec(benchmarks=("sobel",), n_keys=2))
+        data = result.to_dict()
+        assert data["axes"] == AXIS_LABELS
+        assert set(AXIS_LABELS) == {"config", "key_scheme", "budget"}
+        unit = data["units"][0]
+        assert unit["key_scheme"] == "replication"
+        assert unit["budget"] == "default"
 
     def test_cli_campaign_smoke(self, tmp_path, capsys):
         from repro.cli import main
@@ -257,11 +470,47 @@ class TestResultsSchema:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == "repro.campaign/1"
+        assert data["schema"] == "repro.campaign/2"
         assert data["units"][0]["benchmark"] == "sobel"
         assert data["units"][0]["report"]["correct_key_ok"] is True
         captured = capsys.readouterr().out
         assert "sobel" in captured
+
+    def test_cli_multi_axis_campaign(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "axes.json"
+        code = main(
+            [
+                "campaign",
+                "--benchmarks",
+                "sobel",
+                "--config",
+                "dfg-only",
+                "--key-scheme",
+                "replication",
+                "--key-scheme",
+                "aes",
+                "--budget",
+                "tight",
+                "--keys",
+                "2",
+                "--jobs",
+                "1",
+                "--cache-stats",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == "repro.campaign/2"
+        schemes = {u["key_scheme"] for u in data["units"]}
+        assert schemes == {"replication", "aes"}
+        assert {u["budget"] for u in data["units"]} == {"tight"}
+        assert data["cache"]["golden"]["misses"] >= 1
+        captured = capsys.readouterr().out
+        assert "aes" in captured  # scheme column rendered
 
     def test_cli_unknown_benchmark(self, capsys):
         from repro.cli import main
@@ -275,6 +524,7 @@ class TestResultsSchema:
             ["campaign", "--benchmarks", "sobel", "--keys", "1"],
             ["campaign", "--benchmarks", "sobel", "--keys", "2", "--workloads", "0"],
             ["campaign", "--benchmarks", "sobel", "--keys", "2", "--config", "nope"],
+            ["campaign", "--benchmarks", "sobel", "--keys", "2", "--budget", "nope"],
             ["validate", "--benchmark", "sobel", "--keys", "1"],
             ["validate", "--benchmark", "sobl", "--keys", "4"],
         ],

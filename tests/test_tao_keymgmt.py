@@ -84,6 +84,26 @@ class TestAesScheme:
         with pytest.raises(ValueError):
             AesKeyManager(100, locking_key_width=100)
 
+    def test_zero_width_working_key_derives_zero(self):
+        # Regression: the NVM image always stores >= 1 byte, and the
+        # old mask max(1, W) let a zero-width working key decrypt to 1
+        # whenever the image's low bit happened to be set.  A design
+        # with no key bits must derive the empty (0) working key for
+        # every delivered locking key.
+        rng = random.Random(6)
+        locking = LockingKey.random(rng)
+        manager = AesKeyManager(0)
+        manager.install(locking, 0)
+        assert manager.derive_working_key(locking) == 0
+        for _ in range(8):
+            assert manager.derive_working_key(LockingKey.random(rng)) == 0
+
+    def test_zero_width_via_choose_working_key(self):
+        key = LockingKey.random(random.Random(7))
+        manager, working = choose_working_key(0, key, scheme="aes")
+        assert working == 0
+        assert manager.derive_working_key(key) == 0
+
 
 class TestChooseWorkingKey:
     def test_replication_scheme(self):

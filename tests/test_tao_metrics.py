@@ -5,8 +5,13 @@ import random
 import pytest
 
 from repro.sim import Testbench
+from repro.sim.testbench import hamming_distance_fraction
 from repro.tao import LockingKey, TaoFlow
-from repro.tao.metrics import output_corruptibility, validate_component
+from repro.tao.metrics import (
+    generate_wrong_keys,
+    output_corruptibility,
+    validate_component,
+)
 
 SOURCE = """
 int kernel(int seed, int out[4]) {
@@ -63,6 +68,71 @@ class TestValidateComponent:
         assert [t.hamming_fraction for t in a.trials] == [
             t.hamming_fraction for t in b.trials
         ]
+
+
+class TestWrongKeyKeyspaceBoundaries:
+    def test_exact_keyspace_enumerates_all(self):
+        # 2^w - 1 == n_wrong: the request exactly matches the wrong-key
+        # space, so enumeration must return every wrong key once.
+        rng = random.Random(1)
+        correct = LockingKey(bits=9, width=4)
+        keys = generate_wrong_keys(correct, 15, rng)
+        assert sorted(k.bits for k in keys) == [
+            b for b in range(16) if b != 9
+        ]
+
+    def test_one_above_exact_keyspace_still_enumerates(self):
+        # n_wrong one larger than the keyspace: still the full space.
+        rng = random.Random(2)
+        correct = LockingKey(bits=0, width=4)
+        keys = generate_wrong_keys(correct, 16, rng)
+        assert sorted(k.bits for k in keys) == list(range(1, 16))
+
+    def test_width_just_above_enumeration_cutoff_samples(self):
+        # width 21 > the 20-bit enumeration cutoff: rejection sampling
+        # must still deliver the full request, deduplicated, with every
+        # candidate inside the 21-bit keyspace and none the correct key.
+        rng = random.Random(3)
+        correct = LockingKey(bits=123456, width=21)
+        keys = generate_wrong_keys(correct, 64, rng)
+        assert len(keys) == 64
+        bits = [k.bits for k in keys]
+        assert len(set(bits)) == len(bits)
+        assert correct.bits not in bits
+        assert all(0 <= b < (1 << 21) for b in bits)
+        assert all(k.width == 21 for k in keys)
+
+    def test_width_at_cutoff_small_request_samples(self):
+        # width exactly 20 but a small request: the keyspace dwarfs
+        # n_wrong, so sampling (not a 2^20 enumeration) serves it.
+        rng = random.Random(4)
+        correct = LockingKey(bits=7, width=20)
+        keys = generate_wrong_keys(correct, 10, rng)
+        assert len(keys) == 10
+        bits = [k.bits for k in keys]
+        assert len(set(bits)) == len(bits)
+        assert correct.bits not in bits
+        assert all(0 <= b < (1 << 20) for b in bits)
+
+
+class TestHammingLengthMismatch:
+    """A timed-out run can produce fewer (or zero) output bits than the
+    golden vector; the missing tail must count as fully corrupted."""
+
+    def test_missing_tail_counts_as_corrupted(self):
+        golden = [1, 0, 1, 1]
+        truncated = [1, 0]  # simulation died before writing the tail
+        assert hamming_distance_fraction(golden, truncated) == 0.5
+
+    def test_longer_simulated_vector_also_penalized(self):
+        assert hamming_distance_fraction([1], [1, 0, 0]) == pytest.approx(2 / 3)
+
+    def test_empty_against_nonempty_is_full_corruption(self):
+        assert hamming_distance_fraction([0, 1, 0], []) == 1.0
+        assert hamming_distance_fraction([], [0, 1, 0]) == 1.0
+
+    def test_both_empty_is_zero(self):
+        assert hamming_distance_fraction([], []) == 0.0
 
 
 class TestOutputCorruptibility:
