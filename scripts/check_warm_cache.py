@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""CI gate: a warm-cache campaign must be free work, not different work.
+
+Given the JSON documents of a cold and a warm run of the same campaign
+spec (both produced with ``--cache-stats`` against the same
+``--cache-dir``), assert the persistent-cache contract:
+
+* the warm run reports **zero** golden-interpreter misses (every
+  golden lookup was served from a cache tier) and zero front-end
+  compilation misses;
+* outside the ``cache`` telemetry block, the two documents are
+  byte-identical — the disk backend may only change *where* results
+  come from, never *what* they are.
+
+Usage: ``check_warm_cache.py cold.json warm.json``; exits non-zero
+with a diagnostic per violated property.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def result_fields(doc: dict) -> str:
+    """Canonical serialization of everything except cache telemetry."""
+    stripped = {k: v for k, v in doc.items() if k != "cache"}
+    return json.dumps(stripped, indent=2, sort_keys=True)
+
+
+def compare(cold: dict, warm: dict) -> list[str]:
+    """Contract violations between a cold and a warm campaign document."""
+    problems: list[str] = []
+    cache = warm.get("cache")
+    if not cache:
+        problems.append("warm run has no cache telemetry (run with --cache-stats)")
+        return problems
+    backend = cache.get("backend") or {}
+    if backend.get("kind") != "disk":
+        problems.append(f"warm run used no disk backend: {backend!r}")
+    for name in ("golden", "frontend"):
+        counters = cache.get(name, {})
+        misses = counters.get("misses")
+        if misses != 0:
+            problems.append(
+                f"warm run reports {misses} {name} miss(es) "
+                f"(expected 0): {counters!r}"
+            )
+    if result_fields(cold) != result_fields(warm):
+        problems.append(
+            "cold and warm result fields differ (the cache must not "
+            "change campaign results)"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cold = json.loads(Path(argv[1]).read_text())
+    warm = json.loads(Path(argv[2]).read_text())
+    problems = compare(cold, warm)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    golden = warm["cache"]["golden"]
+    print(
+        f"warm-cache contract holds: golden {golden['hits']} L1 + "
+        f"{golden['l2_hits']} disk hits, 0 misses; result fields "
+        "byte-identical to the cold run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -83,11 +83,22 @@ def format_campaign(result: "CampaignResult") -> str:
             f"{len(reports)} unit(s)"
         )
     if result.cache:
-        golden = result.cache.get("golden", {})
-        lines.append(
-            f"golden-model cache: {golden.get('hits', 0)} hits / "
-            f"{golden.get('misses', 0)} misses"
-        )
+        for name, label in (("golden", "golden-model"), ("frontend", "front-end")):
+            counters = result.cache.get(name)
+            if not counters:
+                continue
+            tier = (
+                f" + {counters['l2_hits']} disk hits"
+                if counters.get("l2_hits")
+                else ""
+            )
+            lines.append(
+                f"{label} cache: {counters.get('hits', 0)} hits{tier} / "
+                f"{counters.get('misses', 0)} misses"
+            )
+        backend = result.cache.get("backend") or {}
+        if backend.get("kind") == "disk":
+            lines.append(f"persistent cache: {backend.get('cache_dir')}")
     return "\n".join(lines)
 
 

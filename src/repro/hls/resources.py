@@ -196,7 +196,11 @@ class ResourceConstraints:
     """Per-kind limits for resource-constrained list scheduling.
 
     ``None`` means unconstrained.  ``memory_ports`` limits concurrent
-    accesses to any single array per cycle.
+    accesses to any single array per cycle; with
+    ``shared_memory_port=True`` it instead caps the *total* array
+    accesses per cycle — all arrays behind one shared memory subsystem
+    (the ``mem-tight`` campaign budget), which serializes loads/stores
+    that a per-array port model would overlap.
     """
 
     limits: dict[FUKind, Optional[int]] = field(
@@ -210,6 +214,7 @@ class ResourceConstraints:
         }
     )
     memory_ports: int = 1
+    shared_memory_port: bool = False
 
     def limit(self, kind: FUKind) -> Optional[int]:
         return self.limits.get(kind)

@@ -120,9 +120,14 @@ def list_schedule_block(
                     continue
             if inst.opcode in (Opcode.LOAD, Opcode.STORE):
                 assert inst.array is not None
-                if ports_used.get(inst.array.name, 0) >= constraints.memory_ports:
+                # Shared-port mode banks every array behind one memory
+                # subsystem: memory_ports caps total accesses per cstep.
+                port = (
+                    "" if constraints.shared_memory_port else inst.array.name
+                )
+                if ports_used.get(port, 0) >= constraints.memory_ports:
                     continue
-                ports_used[inst.array.name] = ports_used.get(inst.array.name, 0) + 1
+                ports_used[port] = ports_used.get(port, 0) + 1
             if kind is not None:
                 fu_used[kind] = fu_used.get(kind, 0) + 1
             scheduled_step[node] = step

@@ -1,8 +1,11 @@
 """Campaign-execution runtime: caches, process fan-out and the unified
 results schema.
 
-* :mod:`repro.runtime.cache` — process-wide memoization of golden
-  interpreter runs and front-end compilations;
+* :mod:`repro.runtime.cache` — two-tier memoization of golden
+  interpreter runs and front-end compilations: per-process L1 dicts
+  over an optional persistent, content-addressed disk L2
+  (``DiskCacheBackend``, attached via ``configure_disk_cache`` /
+  ``$REPRO_CACHE_DIR``) shared across worker processes and runs;
 * :mod:`repro.runtime.campaign` — the parallel multi-axis campaign
   engine (``CampaignSpec`` / ``run_campaign`` / ``parallel_map``;
   axes: benchmark × config × key scheme × resource budget);
@@ -17,16 +20,24 @@ import graph.
 from __future__ import annotations
 
 from repro.runtime.cache import (
+    CACHE_DIR_ENV,
     FRONTEND_CACHE,
     GOLDEN_CACHE,
     CacheStats,
+    DiskCacheBackend,
     FrontEndCache,
     GoldenCache,
     absorb_stats,
+    active_backend,
+    active_cache_dir,
+    backend_provenance,
     cache_stats,
+    configure_disk_cache,
+    disk_cache_from_env,
     golden_fingerprint,
     reset_caches,
     stats_delta,
+    toolchain_fingerprint,
 )
 
 _LAZY = {
@@ -47,16 +58,24 @@ _LAZY = {
 }
 
 __all__ = [
+    "CACHE_DIR_ENV",
     "CacheStats",
+    "DiskCacheBackend",
     "FrontEndCache",
     "FRONTEND_CACHE",
     "GoldenCache",
     "GOLDEN_CACHE",
     "absorb_stats",
+    "active_backend",
+    "active_cache_dir",
+    "backend_provenance",
     "cache_stats",
+    "configure_disk_cache",
+    "disk_cache_from_env",
     "golden_fingerprint",
     "reset_caches",
     "stats_delta",
+    "toolchain_fingerprint",
     *sorted(_LAZY),
 ]
 

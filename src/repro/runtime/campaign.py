@@ -31,9 +31,13 @@ and, with the content-addressed golden cache, what lets all cells of
 one benchmark share a single golden interpreter run per workload.
 
 Workers inherit nothing mutable from the parent: each process warms
-its own :mod:`repro.runtime.cache` singletons (golden interpreter
-results, front-end modules).  Key-level pools nested inside a unit
-report their cache-counter deltas back up (see
+its own :mod:`repro.runtime.cache` L1 singletons (golden interpreter
+results, front-end modules).  When the parent has a persistent disk
+backend attached, its directory is threaded through the worker payload
+and every process opens the same content-addressed L2 — golden runs
+and compiled modules are shared across workers, campaigns and CI runs
+instead of being re-warmed per process.  Key-level pools nested inside
+a unit report their cache-counter deltas back up (see
 :func:`repro.runtime.cache.absorb_stats`), so campaign telemetry
 counts every trial regardless of process layout.
 """
@@ -63,14 +67,22 @@ PRESET_CONFIGS: dict[str, dict[str, Any]] = {
 #: versus AES power-up decryption of an NVM-stored working key.
 KEY_SCHEMES: tuple[str, ...] = ("replication", "aes")
 
-#: Named resource-constraint presets for the budget axis.  Values are
-#: per-FU-kind instance limits (keys are ``FUKind`` values); ``None``
-#: means the scheduler's default ``ResourceConstraints``.  The tight
-#: and loose presets mirror the A3 ablation's adder/logic budgets.
-PRESET_BUDGETS: dict[str, Optional[dict[str, int]]] = {
+#: Named resource-constraint presets for the budget axis.  Each preset
+#: is ``None`` (the scheduler's default ``ResourceConstraints``) or a
+#: dict whose ``"limits"`` entry holds per-FU-kind instance caps (keys
+#: are ``FUKind`` values) and whose other entries set
+#: ``ResourceConstraints`` fields by name (e.g. ``memory_ports``,
+#: ``shared_memory_port``) — validated against the dataclass, so a
+#: typo fails loudly at preset resolution.  ``tight``/``loose`` mirror
+#: the A3 ablation's adder/logic budgets; ``mul-tight`` starves the
+#: multiply/divide datapath and ``mem-tight`` banks every array behind
+#: one shared memory port.
+PRESET_BUDGETS: dict[str, Optional[dict[str, Any]]] = {
     "default": None,
-    "tight": {"addsub": 1, "logic": 1},
-    "loose": {"addsub": 4, "logic": 4},
+    "tight": {"limits": {"addsub": 1, "logic": 1}},
+    "loose": {"limits": {"addsub": 4, "logic": 4}},
+    "mul-tight": {"limits": {"mul": 1, "div": 1}},
+    "mem-tight": {"memory_ports": 1, "shared_memory_port": True},
 }
 
 
@@ -78,18 +90,31 @@ def budget_constraints(budget: str):
     """``ResourceConstraints`` for a :data:`PRESET_BUDGETS` name.
 
     Returns ``None`` for the default budget (the scheduler applies its
-    own defaults); raises ``KeyError`` for unknown names.
+    own defaults); raises ``KeyError`` for unknown budget names or
+    preset entries that name no ``ResourceConstraints`` field.
     """
+    import dataclasses
+
     if budget not in PRESET_BUDGETS:
         raise KeyError(f"unknown resource budget {budget!r}")
-    limits = PRESET_BUDGETS[budget]
-    if limits is None:
+    preset = PRESET_BUDGETS[budget]
+    if preset is None:
         return None
     from repro.hls.resources import FUKind, ResourceConstraints
 
+    field_names = {f.name for f in dataclasses.fields(ResourceConstraints)}
     constraints = ResourceConstraints()
-    for kind_name, limit in limits.items():
-        constraints.limits[FUKind(kind_name)] = limit
+    for key, value in preset.items():
+        if key == "limits":
+            for kind_name, limit in value.items():
+                constraints.limits[FUKind(kind_name)] = limit
+        elif key in field_names:
+            setattr(constraints, key, value)
+        else:
+            raise KeyError(
+                f"budget preset {budget!r}: {key!r} is neither 'limits' "
+                f"nor a ResourceConstraints field"
+            )
     return constraints
 
 
@@ -271,15 +296,24 @@ def _run_unit(shared: Any, task: tuple[str, str, str, str]) -> dict[str, Any]:
     out of the deterministic ``unit`` payload) so results cross
     process boundaries in the canonical form.
     """
-    spec_dict, key_parallel_jobs = shared
+    spec_dict, key_parallel_jobs, cache_dir = shared
     benchmark_name, config, key_scheme, budget = task
     from repro.benchsuite import get_benchmark
-    from repro.runtime.cache import cache_stats, stats_delta
+    from repro.runtime.cache import (
+        active_cache_dir,
+        cache_stats,
+        configure_disk_cache,
+        stats_delta,
+    )
     from repro.runtime.results import report_to_dict
     from repro.tao.flow import TaoFlow
     from repro.tao.key import ObfuscationParameters
     from repro.tao.metrics import validate_component
 
+    if cache_dir is not None and cache_dir != active_cache_dir():
+        # Worker processes open the parent's disk backend instead of
+        # re-warming from scratch (inline execution is already attached).
+        configure_disk_cache(cache_dir)
     stats_before = cache_stats()
     spec = _spec_from_dict(spec_dict)
     overrides = spec.config_overrides(config)
@@ -348,15 +382,26 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
     produces the same JSON as ``jobs=1``.
 
     ``collect_cache_stats`` attaches the summed per-unit cache-counter
-    deltas to ``result.cache``.  Each unit's delta includes the deltas
-    its nested key-level pool workers reported back, so the totals
-    count every trial; the hit/miss *split* is process-layout-dependent
-    (separate workers each warm their own caches), which is why the
-    telemetry stays out of ``units``.  A ``jobs=1`` campaign runs in
-    one process, where golden-cache misses equal benchmarks ×
-    workloads: the content-addressed cache shares golden runs across
-    every config, scheme and budget of a benchmark.
+    deltas to ``result.cache``, split by tier (``hits`` = in-process
+    L1, ``l2_hits`` = persistent disk backend, ``misses`` = computed),
+    plus the backend provenance (memory-only or the disk directory).
+    Each unit's delta includes the deltas its nested key-level pool
+    workers reported back, so the totals count every trial; the
+    hit/miss *split* is process-layout-dependent (separate workers
+    each warm their own L1), which is why the telemetry stays out of
+    ``units``.  A ``jobs=1`` campaign with no disk backend runs in one
+    process, where golden-cache misses equal benchmarks × workloads:
+    the content-addressed cache shares golden runs across every
+    config, scheme and budget of a benchmark.  Against a warm disk
+    backend a campaign reports **zero** golden misses — every lookup
+    is served from a tier — while its result fields stay byte-identical
+    to a cold run's.
+
+    When a disk backend is attached (see
+    :func:`repro.runtime.cache.configure_disk_cache`), its directory
+    is handed to every worker so all processes share one L2.
     """
+    from repro.runtime.cache import active_cache_dir, backend_provenance
     from repro.runtime.results import CampaignResult, CampaignUnit
 
     started = time.monotonic()
@@ -372,7 +417,10 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
     # A single-unit campaign runs inline in parallel_map with the whole
     # worker budget as key_jobs, so its key trials still use every core.
     outcomes = parallel_map(
-        _run_unit, tasks, shared=(spec_dict, key_jobs), jobs=jobs
+        _run_unit,
+        tasks,
+        shared=(spec_dict, key_jobs, active_cache_dir()),
+        jobs=jobs,
     )
     result = CampaignResult(
         spec=spec_dict,
@@ -380,11 +428,12 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
         elapsed_seconds=time.monotonic() - started,
     )
     if collect_cache_stats:
-        totals: dict[str, dict[str, int]] = {}
+        totals: dict[str, Any] = {}
         for outcome in outcomes:
             for cache, counters in outcome["cache_delta"].items():
                 bucket = totals.setdefault(cache, {})
                 for counter, value in counters.items():
                     bucket[counter] = bucket.get(counter, 0) + value
+        totals["backend"] = backend_provenance()
         result.cache = totals
     return result

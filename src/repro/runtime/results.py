@@ -24,13 +24,22 @@ parse one format:
         },
         ...
       ],
-      "cache": {"golden": {...}, "frontend": {...}}   # optional telemetry
+      "cache": {                       # optional telemetry (--cache-stats)
+        "golden":   {"hits": ..., "l2_hits": ..., "misses": ...},
+        "frontend": {"hits": ..., "l2_hits": ..., "misses": ...},
+        "backend":  {"kind": "disk"|"memory", "cache_dir": ...}
+      }
     }
 
 Locking keys serialize as hex strings.  The schema is deliberately
 timing-free: serial and parallel runs of the same spec produce
 byte-identical JSON (the determinism contract the tests assert); wall
-time and worker counts live outside ``units``.
+time and worker counts live outside ``units``.  Cache provenance —
+whether a persistent disk backend served lookups, and the per-tier
+hit/miss split (``hits`` = in-process L1, ``l2_hits`` = disk,
+``misses`` = computed) — is likewise confined to the ``cache`` block:
+warm and cold runs of one spec differ only there, never in a result
+field, so cached campaigns stay byte-comparable.
 
 Version history: ``repro.campaign/1`` had (benchmark × config) units
 and a scalar ``key_scheme`` in the spec.  ``/2`` adds the key-scheme

@@ -161,11 +161,21 @@ def _key_trial_worker(shared, key_bits: int):
     Returns ``(trial, cache_delta)``: the worker measures its own
     cache-counter increments per task so the parent can absorb them —
     trials run in nested pools would otherwise vanish from campaign
-    telemetry (the workers' counters die with their processes).
+    telemetry (the workers' counters die with their processes).  The
+    parent's persistent cache directory rides along so nested workers
+    open the same disk backend instead of re-interpreting the golden
+    model.
     """
-    from repro.runtime.cache import cache_stats, stats_delta
+    from repro.runtime.cache import (
+        active_cache_dir,
+        cache_stats,
+        configure_disk_cache,
+        stats_delta,
+    )
 
-    component, benches, cycle_cap, width = shared
+    component, benches, cycle_cap, width, cache_dir = shared
+    if cache_dir is not None and cache_dir != active_cache_dir():
+        configure_disk_cache(cache_dir)
     stats_before = cache_stats()
     key = LockingKey(bits=key_bits, width=width)
     trial = run_key_trial(component, benches, key, cycle_cap)
@@ -257,13 +267,13 @@ def validate_component(
     cap = _cycle_cap(baseline_cycles, max_cycles)
 
     if jobs > 1 and len(wrong_keys) > 1:
-        from repro.runtime.cache import absorb_stats
+        from repro.runtime.cache import absorb_stats, active_cache_dir
         from repro.runtime.campaign import parallel_map
 
         outcomes = parallel_map(
             _key_trial_worker,
             [key.bits for key in wrong_keys],
-            shared=(component, benches, cap, correct.width),
+            shared=(component, benches, cap, correct.width, active_cache_dir()),
             jobs=jobs,
             chunksize=max(1, len(wrong_keys) // (4 * jobs)),
         )

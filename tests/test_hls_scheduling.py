@@ -121,6 +121,34 @@ class TestListScheduling:
             ]
             assert len(loads) <= 1  # single-ported memory
 
+    def test_shared_memory_port_serializes_across_arrays(self):
+        source = """
+        int f(int a[4], int b[4]) {
+          return a[0] + b[0];
+        }
+        """
+        func = function_of(source)
+        from repro.ir.instructions import Opcode
+
+        def max_loads_per_step(constraints):
+            block_schedule = list_schedule_block(func.entry, constraints)
+            return max(
+                sum(
+                    1
+                    for i in block_schedule.instructions_at(step)
+                    if i.opcode is Opcode.LOAD
+                )
+                for step in range(block_schedule.n_steps)
+            )
+
+        # Per-array ports: one load from each array may overlap.
+        assert max_loads_per_step(ResourceConstraints()) == 2
+        # One shared memory subsystem: all array traffic serializes.
+        shared = ResourceConstraints(shared_memory_port=True)
+        assert max_loads_per_step(shared) == 1
+        schedule = schedule_function(func, shared)
+        validate_schedule(schedule)
+
     def test_terminator_in_final_step(self):
         func = function_of(CHAIN)
         block_schedule = list_schedule_block(func.entry, ResourceConstraints())

@@ -348,6 +348,68 @@ class TestCampaignEngine:
         with pytest.raises(KeyError, match="unknown resource budget"):
             budget_constraints("bogus")
 
+    def test_budget_constraints_mul_and_mem_presets(self):
+        from repro.hls.resources import FUKind
+
+        mul_tight = budget_constraints("mul-tight")
+        assert mul_tight.limits[FUKind.MUL] == 1
+        assert mul_tight.limits[FUKind.DIV] == 1
+        assert not mul_tight.shared_memory_port
+        mem_tight = budget_constraints("mem-tight")
+        assert mem_tight.memory_ports == 1
+        assert mem_tight.shared_memory_port
+
+    def test_budget_preset_rejects_unknown_field(self, monkeypatch):
+        # A typo'd preset entry must fail loudly at resolution, not
+        # fall through to a confusing FUKind error.
+        from repro.runtime import campaign as campaign_mod
+
+        monkeypatch.setitem(
+            campaign_mod.PRESET_BUDGETS, "typo", {"memory_port": 1}
+        )
+        with pytest.raises(KeyError, match="ResourceConstraints field"):
+            budget_constraints("typo")
+
+    def test_mem_tight_budget_serializes_array_traffic(self):
+        # The shared-port constraint must actually bite: viterbi
+        # overlaps accesses to different arrays under the per-array
+        # default, so banking everything behind one port lengthens its
+        # schedule (correctness is covered by the campaign tests).
+        from repro.benchsuite import get_benchmark
+        from repro.tao import TaoFlow
+
+        bench = get_benchmark("viterbi")
+        default = TaoFlow().synthesize_baseline(bench.source, bench.top)
+        memtight = TaoFlow(
+            constraints=budget_constraints("mem-tight")
+        ).synthesize_baseline(bench.source, bench.top)
+        assert memtight.controller.n_states > default.controller.n_states
+
+    def test_new_budget_presets_campaign_correct(self):
+        result = run_campaign(
+            CampaignSpec(
+                benchmarks=("sobel",),
+                resource_budgets=("mul-tight", "mem-tight"),
+                n_keys=2,
+            )
+        )
+        for unit in result.units:
+            assert unit.report.correct_key_ok
+            assert unit.report.wrong_keys_all_corrupt
+
+    def test_cli_accepts_new_budget_presets(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "budgets.json"
+        code = main(
+            ["campaign", "--benchmarks", "sobel", "--keys", "2",
+             "--jobs", "1", "--budget", "mul-tight", "--budget", "mem-tight",
+             "-o", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert {u["budget"] for u in data["units"]} == {"mul-tight", "mem-tight"}
+
     def test_spec_dict_round_trip_equality(self):
         # Regression: overrides arrive in arbitrary insertion order and
         # the rebuilt spec used to compare unequal to the original.
