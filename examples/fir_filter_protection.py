@@ -24,7 +24,7 @@ import re
 
 from repro.rtl import emit_verilog
 from repro.sim import Testbench, run_testbench
-from repro.tao import LockingKey, ObfuscationParameters, TaoFlow
+from repro.tao import LockingKey, TaoFlow
 
 # The secret: a 12-tap low-pass-ish integer FIR.
 COEFFICIENTS = [3, 9, 21, 40, 62, 77, 78, 63, 41, 22, 10, 4]
@@ -60,8 +60,9 @@ def leaked_coefficients(verilog: str) -> list[int]:
 
 def main() -> None:
     print("=== FIR coefficient protection ===")
-    params = ObfuscationParameters(obfuscate_dfg=False)  # focus on constants
-    flow = TaoFlow(params=params)
+    # Focus on coefficient protection: run only the constants and
+    # branch-masking stages of the composable pass pipeline.
+    flow = TaoFlow(pipeline="constants,branches")
 
     baseline = flow.synthesize_baseline(SOURCE, "fir")
     baseline_rtl = emit_verilog(baseline)

@@ -13,10 +13,15 @@ Usage (after ``pip install -e .``)::
 ``obfuscate`` writes the obfuscated Verilog, the locking key, and a
 JSON key manifest; ``analyze`` prints the key apportionment (Eq. 1)
 without synthesizing; ``campaign`` runs the parallel validation engine
-over benchmark × parameter-config × key-scheme × resource-budget
-units (repeat ``--config`` / ``--key-scheme`` / ``--budget`` to sweep
-each axis) and emits the unified ``repro.campaign/2`` JSON schema
-(consumed by ``repro.evaluation.report``).  ``--cache-dir`` (or
+over benchmark × parameter-config × key-scheme × resource-budget ×
+pipeline units (repeat ``--config`` / ``--key-scheme`` / ``--budget``
+/ ``--pipeline`` to sweep each axis) and emits the unified
+``repro.campaign/3`` JSON schema with per-stage ``StageReport``
+blocks (consumed by ``repro.evaluation.report``).  ``--pipeline``
+takes a FlowSpec preset name (``full``, ``constants``, ...) or a
+comma-separated stage list (``constants,branches``); the default
+``params`` derives stages from each config's parameter booleans.
+``--cache-dir`` (or
 ``$REPRO_CACHE_DIR``) layers a persistent content-addressed cache
 under the in-process ones so golden runs and compilations are shared
 across worker processes and across invocations; ``--cache-clear``
@@ -55,6 +60,11 @@ def _add_flow_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-dfg", action="store_true", help="disable DFG variants"
     )
     parser.add_argument(
+        "--pipeline",
+        help="obfuscation pipeline: FlowSpec preset name or comma-"
+        "separated stage list (overrides the --no-* stage toggles)",
+    )
+    parser.add_argument(
         "--key-scheme",
         choices=("replication", "aes"),
         default="replication",
@@ -82,9 +92,28 @@ def _locking_key(args: argparse.Namespace) -> Optional[LockingKey]:
     return None
 
 
+def _flow_pipeline(args: argparse.Namespace, params: ObfuscationParameters):
+    """The FlowSpec for a flow command: ``--pipeline``, else the stage
+    toggles mapped through the explicit (warning-free) shim.  Returns
+    ``None`` after printing a diagnostic for an invalid pipeline."""
+    from repro.tao import FlowSpec, resolve_pipeline
+
+    if not getattr(args, "pipeline", None):
+        return FlowSpec.from_parameters(params)
+    try:
+        return resolve_pipeline(args.pipeline)
+    except ValueError as error:
+        print(f"--pipeline {args.pipeline}: {error}", file=sys.stderr)
+        return None
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     source = args.source.read_text()
-    flow = TaoFlow(params=_parameters(args))
+    params = _parameters(args)
+    pipeline = _flow_pipeline(args, params)
+    if pipeline is None:
+        return 2
+    flow = TaoFlow(params=params, pipeline=pipeline)
     module = flow.compile_front_end(source, args.source.stem)
     apportionment = flow.analyze(module, args.top)
     print(f"function        : {args.top}")
@@ -102,7 +131,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_obfuscate(args: argparse.Namespace) -> int:
     source = args.source.read_text()
-    flow = TaoFlow(params=_parameters(args), key_scheme=args.key_scheme)
+    params = _parameters(args)
+    pipeline = _flow_pipeline(args, params)
+    if pipeline is None:
+        return 2
+    flow = TaoFlow(params=params, key_scheme=args.key_scheme, pipeline=pipeline)
     component = flow.obfuscate(
         source, args.top, locking_key=_locking_key(args), name=args.source.stem
     )
@@ -122,6 +155,8 @@ def cmd_obfuscate(args: argparse.Namespace) -> int:
         "working_key_bits": component.working_key_bits,
         "locking_key_bits": component.locking_key.width,
         "key_scheme": args.key_scheme,
+        "pipeline": list(component.flow_spec.stages),
+        "stages": [r.to_dict() for r in component.stage_reports],
         "obfuscated_constants": len(component.design.obfuscated_constants),
         "masked_branches": len(component.design.masked_branches),
         "variant_blocks": len(component.design.block_variants),
@@ -144,7 +179,13 @@ def cmd_obfuscate(args: argparse.Namespace) -> int:
 
 def cmd_baseline(args: argparse.Namespace) -> int:
     source = args.source.read_text()
-    flow = TaoFlow(params=_parameters(args))
+    params = _parameters(args)
+    # The baseline synthesizes no obfuscation stages, but a typo'd
+    # --pipeline must still be rejected (the flow flags are shared
+    # across subcommands; silently ignoring an invalid one misleads).
+    if _flow_pipeline(args, params) is None:
+        return 2
+    flow = TaoFlow(params=params)
     design = flow.synthesize_baseline(source, args.top, name=args.source.stem)
     out_dir: Path = args.output
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -205,12 +246,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.evaluation.report import format_campaign
     from repro.runtime.cache import CACHE_DIR_ENV, configure_disk_cache
     from repro.runtime.campaign import (
+        PIPELINE_FROM_PARAMS,
         PRESET_BUDGETS,
         PRESET_CONFIGS,
         CampaignSpec,
         resolve_jobs,
         run_campaign,
     )
+    from repro.tao.pipeline import PIPELINE_PRESETS, resolve_pipeline
 
     error = _campaign_size_error(args.keys, args.workloads)
     if error:
@@ -228,6 +271,21 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"available: {', '.join(PRESET_CONFIGS)}", file=sys.stderr)
         return 2
     key_schemes = tuple(dict.fromkeys(args.key_scheme or ["replication"]))
+    pipelines = tuple(dict.fromkeys(args.pipeline or [PIPELINE_FROM_PARAMS]))
+    for label in pipelines:
+        if label == PIPELINE_FROM_PARAMS:
+            continue
+        try:
+            resolve_pipeline(label)
+        except ValueError as error:
+            print(f"--pipeline {label}: {error}", file=sys.stderr)
+            print(
+                f"available: {PIPELINE_FROM_PARAMS} (config booleans), "
+                f"presets {', '.join(PIPELINE_PRESETS)}, or a comma-"
+                "separated stage list",
+                file=sys.stderr,
+            )
+            return 2
     budgets = tuple(dict.fromkeys(args.budget or ["default"]))
     unknown_budgets = [b for b in budgets if b not in PRESET_BUDGETS]
     if unknown_budgets:
@@ -270,6 +328,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         configs=configs,
         key_schemes=key_schemes,
         resource_budgets=budgets,
+        pipelines=pipelines,
         n_keys=args.keys,
         n_workloads=args.workloads,
         seed=args.seed,
@@ -331,6 +390,23 @@ def build_parser() -> argparse.ArgumentParser:
             "                   content-addressed cache shared across\n"
             "                   processes and runs\n"
             "\n"
+            "pipelines (--pipeline, repeatable -> fifth sweep axis):\n"
+            "  The obfuscation flow is a pipeline of registered stages\n"
+            "  (repro.tao.pipeline: constants, branches, dfg, roms;\n"
+            "  @register_stage plugs in new ones).  --pipeline takes a\n"
+            "  FlowSpec preset (full, constants, branches, dfg,\n"
+            "  full-rom) or a comma-separated stage list such as\n"
+            "  'constants,branches' (frontend stages before\n"
+            "  post-schedule stages).  The default 'params' derives\n"
+            "  the stage set from each --config's parameter booleans\n"
+            "  (the legacy behaviour); any other pipeline overrides\n"
+            "  the config's stage toggles, and key apportionment\n"
+            "  follows the stages that actually run.  Each unit's JSON\n"
+            "  records its pipeline label and per-stage StageReport\n"
+            "  blocks (ops touched, key bits consumed) in the\n"
+            "  repro.campaign/3 schema; v1/v2 documents upgrade on\n"
+            "  load.\n"
+            "\n"
             "persistent cache:\n"
             "  --cache-dir layers an on-disk L2 under the in-memory caches:\n"
             "  golden interpreter runs and front-end compilations are keyed\n"
@@ -338,7 +414,13 @@ def build_parser() -> argparse.ArgumentParser:
             "  every worker process, concurrent campaign, and later run.\n"
             "  A warm cache reports zero golden misses via --cache-stats\n"
             "  while the JSON result fields stay byte-identical to a cold\n"
-            "  run.  CI persists the directory with actions/cache keyed on\n"
+            "  run.  The resolved pipeline never enters the golden or\n"
+            "  front-end cache keys: the front end caches the\n"
+            "  pre-obfuscation module and golden fingerprints\n"
+            "  canonicalize obfuscated constants to their plaintext, so\n"
+            "  every pipeline of one benchmark shares a single golden\n"
+            "  run per workload (sweeping --pipeline rotates no keys).\n"
+            "  CI persists the directory with actions/cache keyed on\n"
             "  the hash of src/repro/benchsuite/ (content addressing makes\n"
             "  stale entries harmless: they are simply never looked up).\n"
         ),
@@ -377,6 +459,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="resource-budget preset(s) to sweep; see "
         "repro.runtime.campaign.PRESET_BUDGETS (repeatable; default: "
         "default; incl. mul-tight and mem-tight)",
+    )
+    campaign.add_argument(
+        "--pipeline",
+        action="append",
+        help="obfuscation pipeline(s) to sweep: FlowSpec preset name or "
+        "comma-separated stage list (repeatable; default: params = "
+        "stages from each config's parameter booleans; see the epilog)",
     )
     campaign.add_argument("-o", "--output", type=Path, default=None)
     campaign.add_argument(

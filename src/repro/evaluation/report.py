@@ -2,14 +2,16 @@
 single markdown document (the machine-generated companion to
 EXPERIMENTS.md).
 
-Also the consumer of the unified campaign JSON (``repro.campaign/2``,
-see :mod:`repro.runtime.results`; v1 documents are upgraded on load):
-:func:`format_campaign` renders a
+Also the consumer of the unified campaign JSON (``repro.campaign/3``,
+see :mod:`repro.runtime.results`; v1/v2 documents are upgraded on
+load): :func:`format_campaign` renders a
 :class:`~repro.runtime.results.CampaignResult` — produced by
 ``repro campaign -o results.json`` or :func:`run_campaign` — as a
 markdown section with one column per sweep axis (config, key scheme,
-resource budget), and :func:`render_campaign_file` does the same
-straight from a JSON file on disk.
+resource budget, pipeline) plus an aggregate per-stage telemetry
+table (ops touched / key bits per pipeline stage), and
+:func:`render_campaign_file` does the same straight from a JSON file
+on disk.
 """
 
 from __future__ import annotations
@@ -37,23 +39,31 @@ BENCHMARK_NAMES = ["gsm", "adpcm", "sobel", "backprop", "viterbi"]
 def format_campaign(result: "CampaignResult") -> str:
     """Render a campaign result (the unified JSON schema) as markdown.
 
-    Axis columns (key scheme, resource budget) appear only when the
-    campaign actually swept them, so single-axis tables stay compact.
+    Axis columns (key scheme, resource budget, pipeline) appear only
+    when the campaign actually swept them, so single-axis tables stay
+    compact.  When units carry per-stage telemetry, an aggregate
+    stage table (units run / ops touched / key bits per stage)
+    follows the campaign table.
     """
     show_scheme = len({u.key_scheme for u in result.units}) > 1
     show_budget = len({u.budget for u in result.units}) > 1
+    show_pipeline = len({u.pipeline for u in result.units}) > 1
     header = ["benchmark", "config"]
     if show_scheme:
         header.append("scheme")
     if show_budget:
         header.append("budget")
+    if show_pipeline:
+        header.append("pipeline")
     header += [
         "keys", "correct ok", "wrong corrupt",
         "avg HD", "min HD", "max HD", "latency-chg",
     ]
-    align = ["---", "---"] + ["---"] * (show_scheme + show_budget) + [
-        "---:", "---", "---", "---:", "---:", "---:", "---:",
-    ]
+    align = (
+        ["---", "---"]
+        + ["---"] * (show_scheme + show_budget + show_pipeline)
+        + ["---:", "---", "---", "---:", "---:", "---:", "---:"]
+    )
     lines = [
         "| " + " | ".join(header) + " |",
         "|" + "|".join(align) + "|",
@@ -65,6 +75,8 @@ def format_campaign(result: "CampaignResult") -> str:
             cells.append(unit.key_scheme)
         if show_budget:
             cells.append(unit.budget)
+        if show_pipeline:
+            cells.append(unit.pipeline)
         cells += [
             str(report.n_keys),
             str(report.correct_key_ok),
@@ -82,6 +94,9 @@ def format_campaign(result: "CampaignResult") -> str:
             f"\ncampaign average HD {100 * average:.1f}% over "
             f"{len(reports)} unit(s)"
         )
+    stage_lines = _format_stage_telemetry(result)
+    if stage_lines:
+        lines += ["", *stage_lines]
     if result.cache:
         for name, label in (("golden", "golden-model"), ("frontend", "front-end")):
             counters = result.cache.get(name)
@@ -100,6 +115,37 @@ def format_campaign(result: "CampaignResult") -> str:
         if backend.get("kind") == "disk":
             lines.append(f"persistent cache: {backend.get('cache_dir')}")
     return "\n".join(lines)
+
+
+def _format_stage_telemetry(result: "CampaignResult") -> list[str]:
+    """Aggregate per-stage StageReport blocks into a markdown table.
+
+    Sums ops touched and key bits consumed per stage name over every
+    unit that ran it; empty when no unit carries stage telemetry
+    (e.g. documents upgraded from pre-pipeline schema versions).
+    """
+    totals: dict[str, dict[str, int]] = {}
+    phases: dict[str, str] = {}
+    for unit in result.units:
+        for stage in unit.stages:
+            name = stage["stage"]
+            bucket = totals.setdefault(name, {"units": 0, "ops": 0, "bits": 0})
+            bucket["units"] += 1
+            bucket["ops"] += stage.get("ops_touched", 0)
+            bucket["bits"] += stage.get("key_bits_consumed", 0)
+            phases.setdefault(name, stage.get("phase", ""))
+    if not totals:
+        return []
+    lines = [
+        "| stage | phase | units | ops touched | key bits |",
+        "|---|---|---:|---:|---:|",
+    ]
+    for name, bucket in totals.items():
+        lines.append(
+            f"| {name} | {phases[name]} | {bucket['units']} | "
+            f"{bucket['ops']} | {bucket['bits']} |"
+        )
+    return lines
 
 
 def render_campaign_file(json_path: Path | str) -> str:

@@ -8,9 +8,10 @@ results schema.
   ``$REPRO_CACHE_DIR``) shared across worker processes and runs;
 * :mod:`repro.runtime.campaign` — the parallel multi-axis campaign
   engine (``CampaignSpec`` / ``run_campaign`` / ``parallel_map``;
-  axes: benchmark × config × key scheme × resource budget);
-* :mod:`repro.runtime.results` — the ``repro.campaign/2`` JSON schema
-  (upgrades ``/1`` documents on load).
+  axes: benchmark × config × key scheme × resource budget ×
+  obfuscation pipeline);
+* :mod:`repro.runtime.results` — the ``repro.campaign/3`` JSON schema
+  (upgrades ``/1`` and ``/2`` documents on load).
 
 Only the cache layer is imported eagerly; campaign and results symbols
 are re-exported lazily because they sit above the ``tao`` layer in the
@@ -42,7 +43,9 @@ from repro.runtime.cache import (
 
 _LAZY = {
     "CampaignSpec": "repro.runtime.campaign",
+    "CONFIG_PIPELINES": "repro.runtime.campaign",
     "KEY_SCHEMES": "repro.runtime.campaign",
+    "PIPELINE_FROM_PARAMS": "repro.runtime.campaign",
     "PRESET_BUDGETS": "repro.runtime.campaign",
     "PRESET_CONFIGS": "repro.runtime.campaign",
     "budget_constraints": "repro.runtime.campaign",

@@ -7,14 +7,19 @@ into an explicit multi-axis engine:
 
 * :class:`CampaignSpec` declares the sweep — benchmarks, named
   parameter configs (:data:`PRESET_CONFIGS`), key-management schemes
-  (paper §3.4), named resource budgets (:data:`PRESET_BUDGETS`), key
-  count, workloads and worker count;
+  (paper §3.4), named resource budgets (:data:`PRESET_BUDGETS`),
+  obfuscation pipelines (``pipelines``: FlowSpec preset names or
+  comma-separated stage lists, see :mod:`repro.tao.pipeline`; the
+  default sentinel :data:`PIPELINE_FROM_PARAMS` derives the stage set
+  from each config's ``ObfuscationParameters`` booleans, i.e. legacy
+  behaviour), key count, workloads and worker count;
 * :func:`run_campaign` executes it, fanning units (benchmark × config
-  × key scheme × budget) across a
+  × key scheme × budget × pipeline) across a
   :class:`~concurrent.futures.ProcessPoolExecutor` — or, for a
   single-unit campaign, fanning the individual key trials instead —
   and returns a :class:`repro.runtime.results.CampaignResult` holding
-  the unified ``repro.campaign/2`` JSON document;
+  the unified ``repro.campaign/3`` JSON document (per-unit pipeline
+  label and deterministic per-stage ``StageReport`` blocks);
 * :func:`parallel_map` is the shared fan-out primitive (also used by
   ``repro.tao.metrics.validate_component`` for key-level parallelism).
 
@@ -61,6 +66,24 @@ PRESET_CONFIGS: dict[str, dict[str, Any]] = {
     "branches-only": {"obfuscate_constants": False, "obfuscate_dfg": False},
     "constants-only": {"obfuscate_branches": False, "obfuscate_dfg": False},
     "dfg-only": {"obfuscate_branches": False, "obfuscate_constants": False},
+}
+
+#: Pipeline-axis sentinel: derive the stage set from the unit's
+#: ``ObfuscationParameters`` booleans (the legacy behaviour every
+#: pre-pipeline campaign ran).  Any other pipeline label is resolved
+#: by :func:`repro.tao.pipeline.resolve_pipeline` (preset name or
+#: comma-separated stage list) and *overrides* the config's stage
+#: booleans — the config then only contributes numeric parameters.
+PIPELINE_FROM_PARAMS = "params"
+
+#: The FlowSpec preset equivalent of each :data:`PRESET_CONFIGS`
+#: entry: running a config through its pipeline preset produces a
+#: byte-identical design (asserted in tests/test_tao_pipeline.py).
+CONFIG_PIPELINES: dict[str, str] = {
+    "default": "full",
+    "branches-only": "branches",
+    "constants-only": "constants",
+    "dfg-only": "dfg",
 }
 
 #: Working-key management schemes (paper §3.4): locking-key replication
@@ -211,13 +234,17 @@ def parallel_map(
 class CampaignSpec:
     """Declarative description of one validation campaign.
 
-    Four sweep axes multiply into units: ``benchmarks`` ×
-    ``configs`` × ``key_schemes`` × ``resource_budgets``.  ``configs``
-    names entries of :data:`PRESET_CONFIGS` (or keys of
-    ``extra_configs`` for ad-hoc parameter overrides), ``key_schemes``
-    names entries of :data:`KEY_SCHEMES` and ``resource_budgets``
-    entries of :data:`PRESET_BUDGETS`.  ``jobs`` is an execution knob
-    only: it is deliberately excluded from the serialized spec so
+    Five sweep axes multiply into units: ``benchmarks`` ×
+    ``configs`` × ``key_schemes`` × ``resource_budgets`` ×
+    ``pipelines``.  ``configs`` names entries of
+    :data:`PRESET_CONFIGS` (or keys of ``extra_configs`` for ad-hoc
+    parameter overrides), ``key_schemes`` names entries of
+    :data:`KEY_SCHEMES`, ``resource_budgets`` entries of
+    :data:`PRESET_BUDGETS`, and ``pipelines`` holds FlowSpec labels —
+    preset names, comma-separated stage lists, or the
+    :data:`PIPELINE_FROM_PARAMS` sentinel (default) meaning "stages
+    from the config's parameter booleans".  ``jobs`` is an execution
+    knob only: it is deliberately excluded from the serialized spec so
     parallel and serial runs emit identical JSON.
 
     ``extra_configs`` is normalized on construction (entries and their
@@ -229,6 +256,7 @@ class CampaignSpec:
     configs: tuple[str, ...] = ("default",)
     key_schemes: tuple[str, ...] = ("replication",)
     resource_budgets: tuple[str, ...] = ("default",)
+    pipelines: tuple[str, ...] = (PIPELINE_FROM_PARAMS,)
     n_keys: int = 20
     n_workloads: int = 1
     seed: int = 7
@@ -242,6 +270,7 @@ class CampaignSpec:
         object.__setattr__(
             self, "resource_budgets", tuple(self.resource_budgets)
         )
+        object.__setattr__(self, "pipelines", tuple(self.pipelines))
         object.__setattr__(
             self,
             "extra_configs",
@@ -261,14 +290,16 @@ class CampaignSpec:
             return dict(PRESET_CONFIGS[config])
         raise KeyError(f"unknown campaign config {config!r}")
 
-    def units(self) -> list[tuple[str, str, str, str]]:
-        """Deterministic (benchmark, config, scheme, budget) enumeration."""
+    def units(self) -> list[tuple[str, str, str, str, str]]:
+        """Deterministic (benchmark, config, scheme, budget, pipeline)
+        enumeration."""
         return [
-            (b, c, s, r)
+            (b, c, s, r, p)
             for b in self.benchmarks
             for c in self.configs
             for s in self.key_schemes
             for r in self.resource_budgets
+            for p in self.pipelines
         ]
 
     def to_dict(self) -> dict[str, Any]:
@@ -277,6 +308,7 @@ class CampaignSpec:
             "configs": list(self.configs),
             "key_schemes": list(self.key_schemes),
             "resource_budgets": list(self.resource_budgets),
+            "pipelines": list(self.pipelines),
             "n_keys": self.n_keys,
             "n_workloads": self.n_workloads,
             "seed": self.seed,
@@ -286,7 +318,9 @@ class CampaignSpec:
         }
 
 
-def _run_unit(shared: Any, task: tuple[str, str, str, str]) -> dict[str, Any]:
+def _run_unit(
+    shared: Any, task: tuple[str, str, str, str, str]
+) -> dict[str, Any]:
     """Worker body: build the component and run one unit's campaign.
 
     Rebuilds everything from the (deterministic) spec rather than
@@ -294,10 +328,12 @@ def _run_unit(shared: Any, task: tuple[str, str, str, str]) -> dict[str, Any]:
     front-end and golden caches absorb the redundancy.  Returns the
     unit as a schema dict (plus this unit's cache-counter delta, kept
     out of the deterministic ``unit`` payload) so results cross
-    process boundaries in the canonical form.
+    process boundaries in the canonical form.  Stage telemetry is
+    serialized timing-free (``StageReport.to_dict`` default), keeping
+    the unit payload byte-deterministic.
     """
     spec_dict, key_parallel_jobs, cache_dir = shared
-    benchmark_name, config, key_scheme, budget = task
+    benchmark_name, config, key_scheme, budget, pipeline = task
     from repro.benchsuite import get_benchmark
     from repro.runtime.cache import (
         active_cache_dir,
@@ -309,6 +345,7 @@ def _run_unit(shared: Any, task: tuple[str, str, str, str]) -> dict[str, Any]:
     from repro.tao.flow import TaoFlow
     from repro.tao.key import ObfuscationParameters
     from repro.tao.metrics import validate_component
+    from repro.tao.pipeline import FlowSpec, resolve_pipeline
 
     if cache_dir is not None and cache_dir != active_cache_dir():
         # Worker processes open the parent's disk backend instead of
@@ -317,14 +354,22 @@ def _run_unit(shared: Any, task: tuple[str, str, str, str]) -> dict[str, Any]:
     stats_before = cache_stats()
     spec = _spec_from_dict(spec_dict)
     overrides = spec.config_overrides(config)
-    seed = derive_seed(spec.seed, benchmark_name, config, key_scheme, budget)
+    seed = derive_seed(
+        spec.seed, benchmark_name, config, key_scheme, budget, pipeline
+    )
     workload_seed = derive_seed(spec.seed, "workloads", benchmark_name)
     bench = get_benchmark(benchmark_name)
     params = ObfuscationParameters(**overrides)
+    flow_spec = (
+        FlowSpec.from_parameters(params)
+        if pipeline == PIPELINE_FROM_PARAMS
+        else resolve_pipeline(pipeline)
+    )
     flow = TaoFlow(
         params=params,
         constraints=budget_constraints(budget),
         key_scheme=key_scheme,
+        pipeline=flow_spec,
     )
     component = flow.obfuscate(bench.source, bench.top)
     workloads = bench.make_testbenches(
@@ -343,9 +388,11 @@ def _run_unit(shared: Any, task: tuple[str, str, str, str]) -> dict[str, Any]:
             "config": config,
             "key_scheme": key_scheme,
             "budget": budget,
+            "pipeline": pipeline,
             "params": overrides,
             "seed": seed,
             "workload_seed": workload_seed,
+            "stages": [r.to_dict() for r in component.stage_reports],
             "report": report_to_dict(report),
         },
         "cache_delta": stats_delta(stats_before, cache_stats()),
@@ -358,6 +405,7 @@ def _spec_from_dict(data: dict[str, Any]) -> CampaignSpec:
         configs=tuple(data["configs"]),
         key_schemes=tuple(data.get("key_schemes", ("replication",))),
         resource_budgets=tuple(data.get("resource_budgets", ("default",))),
+        pipelines=tuple(data.get("pipelines", (PIPELINE_FROM_PARAMS,))),
         n_keys=data["n_keys"],
         n_workloads=data["n_workloads"],
         seed=data["seed"],
@@ -372,7 +420,8 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
     """Execute ``spec`` and return a :class:`CampaignResult`.
 
     Fan-out strategy: parallelism is applied across units (each worker
-    runs one benchmark × config × scheme × budget cell), and any
+    runs one benchmark × config × scheme × budget × pipeline cell),
+    and any
     worker budget beyond the unit count is handed down as key-level
     parallelism — a single-unit campaign fans its key trials over
     every core, and ``--jobs 8`` over 2 units gives each unit 4 key
@@ -392,7 +441,8 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
     ``units``.  A ``jobs=1`` campaign with no disk backend runs in one
     process, where golden-cache misses equal benchmarks × workloads:
     the content-addressed cache shares golden runs across every
-    config, scheme and budget of a benchmark.  Against a warm disk
+    config, scheme, budget and pipeline of a benchmark.  Against a
+    warm disk
     backend a campaign reports **zero** golden misses — every lookup
     is served from a tier — while its result fields stay byte-identical
     to a cold run's.
@@ -408,8 +458,8 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
     tasks = spec.units()
     if not tasks:
         raise ValueError(
-            "campaign spec has no units: benchmarks, configs, key_schemes "
-            "and resource_budgets must all be non-empty"
+            "campaign spec has no units: benchmarks, configs, key_schemes, "
+            "resource_budgets and pipelines must all be non-empty"
         )
     spec_dict = spec.to_dict()
     jobs = max(1, spec.jobs)

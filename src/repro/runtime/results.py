@@ -8,7 +8,7 @@ parse one format:
 .. code-block:: text
 
     {
-      "schema": "repro.campaign/2",
+      "schema": "repro.campaign/3",
       "spec": {... echo of the CampaignSpec ...},
       "axes": {... per-axis unit labels (AXIS_LABELS) ...},
       "units": [
@@ -17,9 +17,15 @@ parse one format:
           "config": "default",           # parameter-config axis
           "key_scheme": "replication",   # key-management axis (§3.4)
           "budget": "default",           # resource-budget axis
+          "pipeline": "params",          # obfuscation-pipeline axis
           "params": {...non-default ObfuscationParameters...},
           "seed": 123456,                # per-unit derived seed
           "workload_seed": 987654,       # per-benchmark workload seed
+          "stages": [                    # per-stage StageReport blocks
+            {"stage": "constants", "phase": "frontend",
+             "ops_touched": 4, "key_bits_consumed": 128},
+            ...
+          ],
           "report": {... ValidationReport ...}
         },
         ...
@@ -34,18 +40,25 @@ parse one format:
 Locking keys serialize as hex strings.  The schema is deliberately
 timing-free: serial and parallel runs of the same spec produce
 byte-identical JSON (the determinism contract the tests assert); wall
-time and worker counts live outside ``units``.  Cache provenance —
-whether a persistent disk backend served lookups, and the per-tier
-hit/miss split (``hits`` = in-process L1, ``l2_hits`` = disk,
-``misses`` = computed) — is likewise confined to the ``cache`` block:
-warm and cold runs of one spec differ only there, never in a result
-field, so cached campaigns stay byte-comparable.
+time and worker counts live outside ``units`` — which is why the
+``stages`` blocks carry ops/key-bit counts but never the in-memory
+``StageReport.wall_seconds``.  Cache provenance — whether a
+persistent disk backend served lookups, and the per-tier hit/miss
+split (``hits`` = in-process L1, ``l2_hits`` = disk, ``misses`` =
+computed) — is likewise confined to the ``cache`` block: warm and
+cold runs of one spec differ only there, never in a result field, so
+cached campaigns stay byte-comparable.
 
 Version history: ``repro.campaign/1`` had (benchmark × config) units
-and a scalar ``key_scheme`` in the spec.  ``/2`` adds the key-scheme
+and a scalar ``key_scheme`` in the spec.  ``/2`` added the key-scheme
 and resource-budget axes, per-unit ``workload_seed``, and the ``axes``
-label block.  :meth:`CampaignResult.from_dict` upgrades v1 documents
-in place (scalar scheme → one-element axis, default budget).
+label block.  ``/3`` adds the obfuscation-pipeline axis (per-unit
+``pipeline`` label; ``"params"`` = stages derived from the config's
+parameter booleans) and the per-stage ``stages`` telemetry blocks.
+:meth:`CampaignResult.from_dict` upgrades old documents on load — v1
+chains through the v2 shape (scalar scheme → one-element axis,
+default budget), and v2 documents gain the default pipeline axis with
+empty stage telemetry (legacy runs recorded none).
 """
 
 from __future__ import annotations
@@ -58,7 +71,8 @@ from typing import Any, Optional
 from repro.tao.key import LockingKey
 from repro.tao.metrics import KeyTrialResult, ValidationReport
 
-SCHEMA = "repro.campaign/2"
+SCHEMA = "repro.campaign/3"
+SCHEMA_V2 = "repro.campaign/2"
 SCHEMA_V1 = "repro.campaign/1"
 
 #: Human-readable unit label per sweep axis, embedded in every document
@@ -67,6 +81,10 @@ AXIS_LABELS: dict[str, str] = {
     "config": "obfuscation-parameter preset (ObfuscationParameters overrides)",
     "key_scheme": "working-key management scheme (paper §3.4)",
     "budget": "resource-budget preset (FU instance limits per kind)",
+    "pipeline": (
+        "obfuscation-pass pipeline (FlowSpec preset or stage list; "
+        "'params' = stages from the config's parameter booleans)"
+    ),
 }
 
 
@@ -137,7 +155,14 @@ def report_from_dict(data: dict[str, Any]) -> ValidationReport:
 # ----------------------------------------------------------------------
 @dataclass
 class CampaignUnit:
-    """One (benchmark, config, key scheme, budget) cell of a sweep."""
+    """One (benchmark, config, key scheme, budget, pipeline) cell.
+
+    ``stages`` holds the unit's deterministic per-stage telemetry
+    (``StageReport.to_dict`` without timing): one dict per executed
+    pipeline stage with ``stage``/``phase``/``ops_touched``/
+    ``key_bits_consumed``.  Legacy documents upgrade with an empty
+    list (they recorded none).
+    """
 
     benchmark: str
     config: str
@@ -146,7 +171,9 @@ class CampaignUnit:
     report: ValidationReport
     key_scheme: str = "replication"
     budget: str = "default"
+    pipeline: str = "params"
     workload_seed: Optional[int] = None
+    stages: list[dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self, include_trials: bool = True) -> dict[str, Any]:
         return {
@@ -154,9 +181,11 @@ class CampaignUnit:
             "config": self.config,
             "key_scheme": self.key_scheme,
             "budget": self.budget,
+            "pipeline": self.pipeline,
             "params": dict(self.params),
             "seed": self.seed,
             "workload_seed": self.workload_seed,
+            "stages": [dict(stage) for stage in self.stages],
             "report": report_to_dict(self.report, include_trials),
         }
 
@@ -167,15 +196,18 @@ class CampaignUnit:
             config=data["config"],
             key_scheme=data.get("key_scheme", "replication"),
             budget=data.get("budget", "default"),
+            pipeline=data.get("pipeline", "params"),
             params=dict(data["params"]),
             seed=data["seed"],
             workload_seed=data.get("workload_seed"),
+            stages=[dict(stage) for stage in data.get("stages", [])],
             report=report_from_dict(data["report"]),
         )
 
 
 def _upgrade_v1(data: dict[str, Any]) -> dict[str, Any]:
-    """Lift a ``repro.campaign/1`` document to the ``/2`` shape.
+    """Lift a ``repro.campaign/1`` document to the ``/2`` shape
+    (then :func:`_upgrade_v2` chains it the rest of the way).
 
     v1 units carried no per-axis labels; the spec's scalar
     ``key_scheme`` applies to every unit and the budget axis did not
@@ -186,10 +218,31 @@ def _upgrade_v1(data: dict[str, Any]) -> dict[str, Any]:
     spec.setdefault("key_schemes", [scheme])
     spec.setdefault("resource_budgets", ["default"])
     return {
-        "schema": SCHEMA,
+        "schema": SCHEMA_V2,
         "spec": spec,
         "units": [
             {**unit, "key_scheme": scheme, "budget": "default"}
+            for unit in data.get("units", [])
+        ],
+        **({"cache": data["cache"]} if "cache" in data else {}),
+    }
+
+
+def _upgrade_v2(data: dict[str, Any]) -> dict[str, Any]:
+    """Lift a ``repro.campaign/2`` document to the ``/3`` shape.
+
+    v2 campaigns always derived their stage set from the config's
+    parameter booleans (the ``"params"`` pipeline) and recorded no
+    stage telemetry, so units upgrade with ``pipeline: "params"`` and
+    an empty ``stages`` block.
+    """
+    spec = dict(data.get("spec", {}))
+    spec.setdefault("pipelines", ["params"])
+    return {
+        "schema": SCHEMA,
+        "spec": spec,
+        "units": [
+            {"pipeline": "params", "stages": [], **unit}
             for unit in data.get("units", [])
         ],
         **({"cache": data["cache"]} if "cache" in data else {}),
@@ -211,6 +264,7 @@ class CampaignResult:
         config: str = "default",
         key_scheme: Optional[str] = None,
         budget: Optional[str] = None,
+        pipeline: Optional[str] = None,
     ) -> CampaignUnit:
         """First unit matching the given axis labels (None = any)."""
         for unit in self.units:
@@ -219,11 +273,12 @@ class CampaignResult:
                 and unit.config == config
                 and (key_scheme is None or unit.key_scheme == key_scheme)
                 and (budget is None or unit.budget == budget)
+                and (pipeline is None or unit.pipeline == pipeline)
             ):
                 return unit
         raise KeyError(
             f"no unit ({benchmark!r}, {config!r}, scheme={key_scheme!r}, "
-            f"budget={budget!r}) in campaign"
+            f"budget={budget!r}, pipeline={pipeline!r}) in campaign"
         )
 
     def to_dict(self, include_trials: bool = True) -> dict[str, Any]:
@@ -253,10 +308,14 @@ class CampaignResult:
         schema = data.get("schema")
         if schema == SCHEMA_V1:
             data = _upgrade_v1(data)
-        elif schema != SCHEMA:
+            schema = data["schema"]
+        if schema == SCHEMA_V2:
+            data = _upgrade_v2(data)
+            schema = data["schema"]
+        if schema != SCHEMA:
             raise ValueError(
-                f"unsupported campaign schema {schema!r} "
-                f"(expected {SCHEMA!r} or upgradable {SCHEMA_V1!r})"
+                f"unsupported campaign schema {schema!r} (expected "
+                f"{SCHEMA!r} or upgradable {SCHEMA_V2!r}/{SCHEMA_V1!r})"
             )
         return cls(
             spec=dict(data["spec"]),

@@ -1,5 +1,10 @@
 """TAO: the paper's contribution — algorithm-level obfuscation passes,
-key apportionment/management and security metrics."""
+key apportionment/management and security metrics.
+
+The passes compose through the stage API in :mod:`repro.tao.pipeline`:
+a :class:`FlowSpec` (ordered stage names + per-stage options) resolved
+against the stage registry drives :class:`TaoFlow`, and every executed
+stage reports :class:`StageReport` telemetry."""
 
 from repro.tao.attacks import (
     KeySensitivityResult,
@@ -33,6 +38,17 @@ from repro.tao.keymgmt import (
     ReplicationKeyManager,
     choose_working_key,
 )
+from repro.tao.pipeline import (
+    PIPELINE_PRESETS,
+    FlowContext,
+    FlowSpec,
+    Stage,
+    StageReport,
+    available_stages,
+    get_stage,
+    register_stage,
+    resolve_pipeline,
+)
 from repro.tao.rom_pass import RomObfuscation, eligible_roms, obfuscate_roms as obfuscate_rom_contents
 from repro.tao.metrics import (
     KeyTrialResult,
@@ -46,7 +62,12 @@ from repro.tao.metrics import (
 
 __all__ = [
     "AesKeyManager",
+    "FlowContext",
+    "FlowSpec",
     "KeyApportionment",
+    "PIPELINE_PRESETS",
+    "Stage",
+    "StageReport",
     "KeySensitivityResult",
     "KeyManagementOverhead",
     "KeyTrialResult",
@@ -61,6 +82,7 @@ __all__ = [
     "TaoFlow",
     "ValidationReport",
     "apportion_keys",
+    "available_stages",
     "brute_force_slice_with_oracle",
     "build_report",
     "generate_wrong_keys",
@@ -69,6 +91,7 @@ __all__ = [
     "create_dfg_variants",
     "eligible_roms",
     "extractable_constants",
+    "get_stage",
     "hamming_distance",
     "key_sensitivity_analysis",
     "mask_branches",
@@ -78,7 +101,9 @@ __all__ = [
     "obfuscate_source",
     "output_corruptibility",
     "random_key_attack",
+    "register_stage",
     "replication_leak_analysis",
+    "resolve_pipeline",
     "validate_component",
     "variant_divergence",
 ]

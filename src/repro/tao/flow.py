@@ -5,15 +5,36 @@ Pipeline:
 
 1. front-end: parse / analyze / lower the C subset, run the compiler
    optimization pipeline and inline the call hierarchy (§3.3.1);
-2. key apportionment: Eq. 1 decides W and lays out the working key;
+2. key apportionment: Eq. 1 decides W and lays out the working key —
+   driven by the *resolved pipeline*, so only stages that actually run
+   claim key bits;
 3. locking key: the designer's 256-bit secret; the key-management
    scheme (replication or AES, §3.4) fixes the correct working key;
-4. front-end obfuscation: constant extraction (§3.3.2);
-5. mid-level HLS: scheduling, binding, controller synthesis;
-6. mid-level obfuscation: branch masking (§3.3.3) and DFG variants
-   (§3.3.4);
-7. back-end: the FsmdDesign is ready for Verilog emission, area/timing
+4. the obfuscation pipeline (:mod:`repro.tao.pipeline`): frontend
+   stages (constant extraction, §3.3.2) transform the IR, the
+   mid-level HLS engine schedules/binds/synthesizes the controller,
+   then post-schedule stages (branch masking §3.3.3, DFG variants
+   §3.3.4, the ROM extension) transform the FSMD design — all sharing
+   one :class:`~repro.tao.pipeline.FlowContext` and emitting per-stage
+   :class:`~repro.tao.pipeline.StageReport` telemetry;
+5. back-end: the FsmdDesign is ready for Verilog emission, area/timing
    estimation and key-aware simulation.
+
+Which stages run is declared by a
+:class:`~repro.tao.pipeline.FlowSpec` (``TaoFlow(pipeline=...)``
+accepts a spec, a preset name such as ``"full"``, or a comma-separated
+stage list).  When no pipeline is given, the legacy
+``ObfuscationParameters`` stage booleans are mapped onto a spec via
+:meth:`FlowSpec.from_parameters` — that implicit path emits one
+``DeprecationWarning`` per process when the booleans deviate from
+their defaults.
+
+Design-time randomness is stream-split: the locking key, the
+key-management scheme and every stage draw from independent SHA-256
+streams of ``params.seed`` (see
+:func:`repro.tao.pipeline.stream_rng`), so adding, removing or
+reordering a stage never perturbs the randomness any other consumer
+sees.
 
 ``synthesize_pair`` additionally builds the unobfuscated baseline from
 the same source for overhead comparisons (Figure 6 normalizes against
@@ -22,9 +43,9 @@ it).
 
 from __future__ import annotations
 
-import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 from repro.frontend.lowering import compile_c
 from repro.hls.design import FsmdDesign, KeyConfiguration
@@ -33,9 +54,6 @@ from repro.hls.resources import ResourceConstraints
 from repro.ir.function import Module
 from repro.opt.pass_manager import optimize_module
 from repro.runtime.cache import FRONTEND_CACHE
-from repro.tao.branch_pass import mask_branches
-from repro.tao.constants_pass import obfuscate_constants
-from repro.tao.dfg_variants import obfuscate_dfgs
 from repro.tao.key import (
     KeyApportionment,
     LockingKey,
@@ -47,8 +65,23 @@ from repro.tao.keymgmt import (
     ReplicationKeyManager,
     choose_working_key,
 )
+from repro.tao.pipeline import (
+    FRONTEND,
+    FlowContext,
+    FlowSpec,
+    StageReport,
+    resolve_pipeline,
+    stream_rng,
+)
 
 KeyManager = Union[ReplicationKeyManager, AesKeyManager]
+
+#: The stage set the default ObfuscationParameters booleans select;
+#: implicit boolean-to-spec resolution only warns when it deviates
+#: (i.e. when the caller actually used the deprecated toggles).
+_DEFAULT_BOOLEAN_SPEC = FlowSpec.from_parameters(ObfuscationParameters())
+
+_BOOLEAN_SHIM_WARNED = False
 
 
 @dataclass
@@ -61,6 +94,8 @@ class ObfuscatedComponent:
     key_manager: KeyManager
     correct_working_key: int
     params: ObfuscationParameters
+    flow_spec: FlowSpec = field(default_factory=FlowSpec)
+    stage_reports: list[StageReport] = field(default_factory=list)
 
     def working_key_for(self, locking_key: LockingKey) -> int:
         """Working key the chip derives from a delivered locking key."""
@@ -70,21 +105,48 @@ class ObfuscatedComponent:
     def working_key_bits(self) -> int:
         return self.apportionment.working_key_bits
 
+    def stage_report(self, stage_name: str) -> StageReport:
+        """Telemetry of one executed stage (KeyError when it didn't run)."""
+        for report in self.stage_reports:
+            if report.stage == stage_name:
+                return report
+        raise KeyError(
+            f"stage {stage_name!r} did not run; pipeline was "
+            f"{list(self.flow_spec.stages)}"
+        )
+
 
 class TaoFlow:
-    """TAO-enhanced HLS flow driver."""
+    """TAO-enhanced HLS flow driver.
+
+    ``pipeline`` selects the obfuscation stages: a
+    :class:`~repro.tao.pipeline.FlowSpec`, a preset name (``"full"``,
+    ``"constants"``, ...) or a comma-separated stage list
+    (``"constants,branches"``).  ``None`` falls back to the legacy
+    ``ObfuscationParameters`` booleans (deprecated for stage
+    selection; the numeric parameters — widths, block bits, seed,
+    diversity — remain the supported knobs either way).
+    """
 
     def __init__(
         self,
         params: Optional[ObfuscationParameters] = None,
         constraints: Optional[ResourceConstraints] = None,
         key_scheme: str = "replication",
+        pipeline: Optional[Union[FlowSpec, str]] = None,
     ) -> None:
         self.params = params or ObfuscationParameters()
         self.constraints = constraints
         self.key_scheme = key_scheme
+        self.pipeline = None if pipeline is None else resolve_pipeline(pipeline)
 
     # ------------------------------------------------------------------
+    def resolved_pipeline(self) -> FlowSpec:
+        """The FlowSpec this flow runs: explicit, or the boolean shim."""
+        if self.pipeline is not None:
+            return self.pipeline
+        return _spec_from_boolean_params(self.params)
+
     def compile_front_end(self, source: str, name: str = "design") -> Module:
         """Front end + compiler steps: source to optimized, inlined IR.
 
@@ -97,8 +159,10 @@ class TaoFlow:
         return FRONTEND_CACHE.get_or_compile(source, name, _compile_and_optimize)
 
     def analyze(self, module: Module, top: str) -> KeyApportionment:
-        """Key apportionment on the optimized top function (Eq. 1)."""
-        return apportion_keys(module.function(top), self.params)
+        """Key apportionment on the optimized top function (Eq. 1),
+        under the resolved pipeline's stage selection."""
+        params = self.resolved_pipeline().apply_to_parameters(self.params)
+        return apportion_keys(module.function(top), params)
 
     # ------------------------------------------------------------------
     def obfuscate(
@@ -108,53 +172,53 @@ class TaoFlow:
         locking_key: Optional[LockingKey] = None,
         name: str = "design",
     ) -> ObfuscatedComponent:
-        """Run the full TAO flow on C source."""
-        rng = random.Random(self.params.seed)
+        """Run the TAO flow on C source: the resolved pipeline's
+        frontend stages, HLS, then its post-schedule stages."""
+        spec = self.resolved_pipeline()
+        stages = spec.resolved_stages()
+        params = spec.apply_to_parameters(self.params)
+
         if locking_key is None:
-            locking_key = LockingKey.random(rng, self.params.locking_key_bits)
+            locking_key = LockingKey.random(
+                stream_rng(params.seed, "locking-key"), params.locking_key_bits
+            )
 
         module = self.compile_front_end(source, name)
         func = module.function(top)
-        apportionment = self.analyze(module, top)
+        apportionment = apportion_keys(func, params)
 
         key_manager, working_key = choose_working_key(
             apportionment.working_key_bits,
             locking_key,
             scheme=self.key_scheme,
-            rng=rng,
+            rng=stream_rng(params.seed, "keymgmt"),
         )
 
-        # Front-end obfuscation: constants (before scheduling, §3.2.1).
-        obfuscated_constants = []
-        if self.params.obfuscate_constants:
-            obfuscated_constants = obfuscate_constants(
-                func, apportionment, working_key
-            )
+        ctx = FlowContext(
+            module=module,
+            func=func,
+            params=params,
+            apportionment=apportionment,
+            working_key=working_key,
+            locking_key=locking_key,
+            base_seed=params.seed,
+        )
+        reports: list[StageReport] = []
+        for stage in (s for s in stages if s.phase == FRONTEND):
+            reports.append(stage.apply(ctx, spec.options_for(stage.name)))
 
-        # Mid-level: schedule/bind/controller, then obfuscate.
+        # Mid-level HLS: schedule, bind, synthesize the controller.
         design = synthesize_function(module, top, self.constraints)
-        if self.params.obfuscate_branches:
-            design.masked_branches = mask_branches(design, apportionment, working_key)
-        if self.params.obfuscate_dfg:
-            obfuscate_dfgs(
-                design,
-                apportionment,
-                working_key,
-                self.params.seed,
-                diversity=self.params.variant_diversity,
-            )
+        ctx.design = design
+        for stage in (s for s in stages if s.phase != FRONTEND):
+            reports.append(stage.apply(ctx, spec.options_for(stage.name)))
 
-        if self.params.obfuscate_roms and apportionment.rom_slice_of:
-            from repro.tao.rom_pass import obfuscate_roms
-
-            obfuscate_roms(design, apportionment.rom_slice_of, working_key)
-
-        design.obfuscated_constants = obfuscated_constants
+        design.obfuscated_constants = ctx.obfuscated_constants
         design.key_config = KeyConfiguration(
             working_key_bits=apportionment.working_key_bits,
             correct_working_key=working_key,
             constant_slices=[
-                (apportionment.constant_offset_of[i], self.params.constant_width)
+                (apportionment.constant_offset_of[i], params.constant_width)
                 for i in range(apportionment.num_constants)
             ],
             branch_bits=dict(apportionment.branch_bit_of),
@@ -167,7 +231,9 @@ class TaoFlow:
             locking_key=locking_key,
             key_manager=key_manager,
             correct_working_key=working_key,
-            params=self.params,
+            params=params,
+            flow_spec=spec,
+            stage_reports=reports,
         )
 
     # ------------------------------------------------------------------
@@ -187,6 +253,29 @@ class TaoFlow:
         return baseline, component
 
 
+def _spec_from_boolean_params(params: ObfuscationParameters) -> FlowSpec:
+    """Back-compat shim: the legacy stage booleans become a FlowSpec.
+
+    Warns once per process when the booleans deviate from their
+    defaults — that is the deprecated usage (selecting stages through
+    parameter toggles); default parameters resolve silently to the
+    ``full`` pipeline.  Callers that sweep booleans on purpose should
+    pass ``pipeline=FlowSpec.from_parameters(params)`` explicitly.
+    """
+    global _BOOLEAN_SHIM_WARNED
+    spec = FlowSpec.from_parameters(params)
+    if spec != _DEFAULT_BOOLEAN_SPEC and not _BOOLEAN_SHIM_WARNED:
+        _BOOLEAN_SHIM_WARNED = True
+        warnings.warn(
+            "selecting obfuscation stages via ObfuscationParameters "
+            "booleans is deprecated: pass TaoFlow(pipeline=...) a "
+            "FlowSpec, a preset name, or FlowSpec.from_parameters(params)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return spec
+
+
 def _compile_and_optimize(source: str, name: str) -> Module:
     module = compile_c(source, name)
     optimize_module(module, inline=True)
@@ -198,6 +287,9 @@ def obfuscate_source(
     top: str,
     params: Optional[ObfuscationParameters] = None,
     key_scheme: str = "replication",
+    pipeline: Optional[Union[FlowSpec, str]] = None,
 ) -> ObfuscatedComponent:
     """One-call convenience API over :class:`TaoFlow`."""
-    return TaoFlow(params=params, key_scheme=key_scheme).obfuscate(source, top)
+    return TaoFlow(
+        params=params, key_scheme=key_scheme, pipeline=pipeline
+    ).obfuscate(source, top)

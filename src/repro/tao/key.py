@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from repro.ir.function import Function
 from repro.ir.instructions import Opcode
 from repro.ir.values import Constant
+from repro.tao.rom_pass import eligible_roms
 
 
 @dataclass
@@ -155,11 +156,7 @@ def apportion_keys(func: Function, params: ObfuscationParameters) -> KeyApportio
     )
     blocks = list(func.blocks) if params.obfuscate_dfg else []
 
-    roms: list[str] = []
-    if params.obfuscate_roms:
-        from repro.tao.rom_pass import eligible_roms
-
-        roms = eligible_roms(func)
+    roms = eligible_roms(func) if params.obfuscate_roms else []
 
     offset = 0
     for branch in branches:

@@ -7,8 +7,9 @@
   during a campaign — shared across configs, schemes and budgets;
 * parallel and serial campaigns emit byte-identical JSON;
 * cache telemetry counts trials run in nested key-level pools;
-* multi-axis sweeps (config × key scheme × resource budget) enumerate,
-  execute and serialize (``repro.campaign/2``) correctly.
+* multi-axis sweeps (config × key scheme × resource budget ×
+  pipeline) enumerate, execute and serialize (``repro.campaign/3``)
+  correctly, and old documents upgrade on load.
 """
 
 import json
@@ -244,7 +245,7 @@ class TestParallelDeterminism:
         serial = run_campaign(CampaignSpec(jobs=1, **base))
         parallel = run_campaign(CampaignSpec(jobs=8, **base))
         assert serial.to_json() == parallel.to_json()
-        assert serial.to_dict()["schema"] == "repro.campaign/2"
+        assert serial.to_dict()["schema"] == "repro.campaign/3"
 
     def test_workloads_shared_across_axes(self):
         # Workload seeds derive from the benchmark alone: every
@@ -311,8 +312,8 @@ class TestCampaignEngine:
             benchmarks=("sobel",), configs=("default", "branches-only"), n_keys=2
         )
         assert spec.units() == [
-            ("sobel", "default", "replication", "default"),
-            ("sobel", "branches-only", "replication", "default"),
+            ("sobel", "default", "replication", "default", "params"),
+            ("sobel", "branches-only", "replication", "default", "params"),
         ]
         assert spec.config_overrides("branches-only") == {
             "obfuscate_constants": False,
@@ -327,14 +328,16 @@ class TestCampaignEngine:
             configs=("default", "dfg-only"),
             key_schemes=("replication", "aes"),
             resource_budgets=("default", "tight"),
+            pipelines=("params", "full"),
         )
         units = spec.units()
-        assert len(units) == 2 * 2 * 2 * 2
+        assert len(units) == 2 * 2 * 2 * 2 * 2
         assert len(set(units)) == len(units)
-        # benchmark-major, budget-minor enumeration order.
-        assert units[0] == ("sobel", "default", "replication", "default")
-        assert units[1] == ("sobel", "default", "replication", "tight")
-        assert units[-1] == ("adpcm", "dfg-only", "aes", "tight")
+        # benchmark-major, pipeline-minor enumeration order.
+        assert units[0] == ("sobel", "default", "replication", "default", "params")
+        assert units[1] == ("sobel", "default", "replication", "default", "full")
+        assert units[2] == ("sobel", "default", "replication", "tight", "params")
+        assert units[-1] == ("adpcm", "dfg-only", "aes", "tight", "full")
 
     def test_budget_constraints_presets(self):
         from repro.hls.resources import FUKind
@@ -500,18 +503,76 @@ class TestResultsSchema:
         unit = result.unit("sobel")
         assert unit.key_scheme == "aes"  # spec's scalar scheme applied
         assert unit.budget == "default"
+        assert unit.pipeline == "params"  # chained v2 -> v3 upgrade
+        assert unit.stages == []
         assert result.spec["key_schemes"] == ["aes"]
         assert result.spec["resource_budgets"] == ["default"]
-        assert result.to_dict()["schema"] == "repro.campaign/2"
+        assert result.spec["pipelines"] == ["params"]
+        assert result.to_dict()["schema"] == "repro.campaign/3"
+
+    def test_v2_document_upgrades(self):
+        v2 = {
+            "schema": "repro.campaign/2",
+            "spec": {
+                "benchmarks": ["sobel"],
+                "configs": ["default"],
+                "key_schemes": ["replication"],
+                "resource_budgets": ["tight"],
+                "n_keys": 2,
+                "n_workloads": 1,
+                "seed": 7,
+                "extra_configs": {},
+            },
+            "units": [
+                {
+                    "benchmark": "sobel",
+                    "config": "default",
+                    "key_scheme": "replication",
+                    "budget": "tight",
+                    "params": {},
+                    "seed": 42,
+                    "workload_seed": 9,
+                    "report": {
+                        "component_name": "sobel",
+                        "n_keys": 2,
+                        "correct_key_ok": True,
+                        "wrong_keys_all_corrupt": True,
+                        "average_hamming": 0.5,
+                        "min_hamming": 0.5,
+                        "max_hamming": 0.5,
+                        "baseline_cycles": 100,
+                        "latency_changed_keys": 0,
+                        "trials": [],
+                    },
+                }
+            ],
+        }
+        result = CampaignResult.from_dict(v2)
+        unit = result.unit("sobel")
+        assert unit.pipeline == "params"  # v2 always derived from booleans
+        assert unit.stages == []  # legacy runs recorded no telemetry
+        assert unit.budget == "tight"  # existing axis labels survive
+        assert result.spec["pipelines"] == ["params"]
+        assert result.to_dict()["schema"] == "repro.campaign/3"
 
     def test_axes_labels_embedded(self):
         result = run_campaign(CampaignSpec(benchmarks=("sobel",), n_keys=2))
         data = result.to_dict()
         assert data["axes"] == AXIS_LABELS
-        assert set(AXIS_LABELS) == {"config", "key_scheme", "budget"}
+        assert set(AXIS_LABELS) == {"config", "key_scheme", "budget", "pipeline"}
         unit = data["units"][0]
         assert unit["key_scheme"] == "replication"
         assert unit["budget"] == "default"
+        assert unit["pipeline"] == "params"
+        # The default pipeline runs the three paper passes; every stage
+        # block is deterministic (no wall time in the JSON).
+        assert [s["stage"] for s in unit["stages"]] == [
+            "constants", "branches", "dfg",
+        ]
+        for stage in unit["stages"]:
+            assert set(stage) == {
+                "stage", "phase", "ops_touched", "key_bits_consumed",
+            }
 
     def test_cli_campaign_smoke(self, tmp_path, capsys):
         from repro.cli import main
@@ -532,7 +593,7 @@ class TestResultsSchema:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == "repro.campaign/2"
+        assert data["schema"] == "repro.campaign/3"
         assert data["units"][0]["benchmark"] == "sobel"
         assert data["units"][0]["report"]["correct_key_ok"] is True
         captured = capsys.readouterr().out
@@ -566,7 +627,7 @@ class TestResultsSchema:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == "repro.campaign/2"
+        assert data["schema"] == "repro.campaign/3"
         schemes = {u["key_scheme"] for u in data["units"]}
         assert schemes == {"replication", "aes"}
         assert {u["budget"] for u in data["units"]} == {"tight"}
