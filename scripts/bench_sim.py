@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""BENCH trajectory: FSMD key-validation throughput, interp vs compiled.
+
+Times the §4.3 key-validation cell (default: sobel, 20 keys, one
+workload) under both simulation engines, each in a **fresh
+subprocess** so neither run benefits from the other's in-process
+caches (compiled plans, golden L1).  Inside each child the golden
+software model is interpreted and cached *before* the clock starts, so
+the timed region is pure engine work: the compiled child pays its
+one-off design lowering plus 20 cheap ``bind_key`` trials, the
+interpreter child pays per-cycle dispatch on every trial.
+
+Writes a ``BENCH_sim.json`` document with, per engine, the wall time,
+trials/second and simulated cycles/second, plus the speedup and
+whether both engines produced field-identical validation reports
+(the determinism contract — the run fails when they differ, so the CI
+bench step doubles as a parity gate).  ``--min-speedup`` optionally
+fails the run when the compiled engine undershoots a floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def run_child(engine: str, args: argparse.Namespace) -> dict:
+    argv = [
+        sys.executable,
+        str(Path(__file__).resolve()),
+        "--child",
+        "--engine", engine,
+        "--benchmark", args.benchmark,
+        "--keys", str(args.keys),
+        "--workloads", str(args.workloads),
+        "--seed", str(args.seed),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC_DIR), env.get("PYTHONPATH")) if p
+    )
+    # The child resolves its engine from the explicit flag; a stray
+    # REPRO_SIM_ENGINE in the benching environment must not leak in.
+    env.pop("REPRO_SIM_ENGINE", None)
+    completed = subprocess.run(
+        argv, check=True, env=env, stdout=subprocess.PIPE, text=True
+    )
+    return json.loads(completed.stdout)
+
+
+def child_main(args: argparse.Namespace) -> int:
+    from repro.benchsuite import get_benchmark
+    from repro.runtime.results import report_to_dict
+    from repro.sim.testbench import default_observed_arrays
+    from repro.runtime.cache import GOLDEN_CACHE
+    from repro.tao.flow import TaoFlow
+    from repro.tao.metrics import validate_component
+
+    bench = get_benchmark(args.benchmark)
+    component = TaoFlow(pipeline="full").obfuscate(bench.source, bench.top)
+    workloads = bench.make_testbenches(seed=args.seed, count=args.workloads)
+    # Warm the golden model outside the timed region: its one-off
+    # interpretation cost is engine-independent and would otherwise
+    # dilute the engine comparison.
+    design = component.design
+    observed = default_observed_arrays(design.module, design.func.name)
+    for workload in workloads:
+        GOLDEN_CACHE.golden_for(design, workload, observed)
+
+    started = time.perf_counter()
+    report = validate_component(
+        component,
+        workloads,
+        n_keys=args.keys,
+        seed=args.seed,
+        jobs=1,
+        engine=args.engine,
+    )
+    elapsed = time.perf_counter() - started
+
+    trials = report.n_keys
+    cycles = sum(trial.cycles for trial in report.trials)
+    report_json = json.dumps(report_to_dict(report), sort_keys=True)
+    print(
+        json.dumps(
+            {
+                "engine": args.engine,
+                "seconds": round(elapsed, 4),
+                "trials": trials,
+                "simulated_cycles": cycles,
+                "trials_per_second": round(trials / elapsed, 2),
+                "cycles_per_second": round(cycles / elapsed, 1),
+                "report_sha256": hashlib.sha256(
+                    report_json.encode("utf-8")
+                ).hexdigest(),
+            }
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--engine", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--benchmark", default="sobel")
+    parser.add_argument("--keys", type=int, default=20)
+    parser.add_argument("--workloads", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail when compiled/interp speedup is below this floor",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_sim.json")
+    )
+    args = parser.parse_args(argv)
+    if args.child:
+        return child_main(args)
+
+    interp = run_child("interp", args)
+    compiled = run_child("compiled", args)
+    speedup = (
+        interp["seconds"] / compiled["seconds"] if compiled["seconds"] else None
+    )
+    reports_identical = interp["report_sha256"] == compiled["report_sha256"]
+    document = {
+        "bench": "sim_key_validation_throughput",
+        "benchmark": args.benchmark,
+        "keys": args.keys,
+        "workloads": args.workloads,
+        "seed": args.seed,
+        "interp": interp,
+        "compiled": compiled,
+        "speedup": round(speedup, 3) if speedup else None,
+        "reports_identical": reports_identical,
+    }
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(document, indent=2, sort_keys=True))
+    if not reports_identical:
+        print(
+            "FAIL: engines produced different validation reports",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_speedup is not None and (
+        speedup is None or speedup < args.min_speedup
+    ):
+        print(
+            f"FAIL: speedup {speedup} below floor {args.min_speedup}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""CI gate: the compiled FSMD engine must change speed, never results.
+
+Given two campaign JSON documents produced from the same spec with
+``--engine compiled`` and ``--engine interp``, assert the engine
+determinism contract: outside the ``cache`` telemetry block (which
+legitimately differs when the runs share a warm cache directory), the
+two documents are **byte-identical** — per-trial outputs, Hamming
+fractions, cycle counts, completed flags, seeds and stage telemetry
+all match bit for bit.
+
+Usage: ``check_engine_parity.py compiled.json interp.json``; exits
+non-zero with a diagnostic when the contract is violated.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_warm_cache import result_fields  # noqa: E402
+
+
+def compare_engines(compiled: dict, interp: dict) -> list[str]:
+    """Contract violations between same-spec compiled/interp documents."""
+    problems: list[str] = []
+    compiled_text = result_fields(compiled)
+    interp_text = result_fields(interp)
+    if compiled_text != interp_text:
+        for line_a, line_b in zip(
+            compiled_text.splitlines(), interp_text.splitlines()
+        ):
+            if line_a != line_b:
+                problems.append(
+                    "result fields differ between engines: first "
+                    f"divergence {line_a.strip()!r} (compiled) vs "
+                    f"{line_b.strip()!r} (interp)"
+                )
+                break
+        else:
+            problems.append(
+                "result fields differ between engines (document lengths)"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    compiled = json.loads(Path(argv[1]).read_text())
+    interp = json.loads(Path(argv[2]).read_text())
+    problems = compare_engines(compiled, interp)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    units = len(compiled.get("units", []))
+    print(
+        f"engine parity holds: {units} unit(s) byte-identical between "
+        "the compiled engine and the reference interpreter"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,6 +26,10 @@ comma-separated stage list (``constants,branches``); the default
 under the in-process ones so golden runs and compilations are shared
 across worker processes and across invocations; ``--cache-clear``
 empties it first and ``--cache-stats`` reports the per-tier split.
+``--engine`` (or ``$REPRO_SIM_ENGINE``) selects the FSMD simulation
+engine: ``compiled`` (default — designs are lowered once and key
+trials reuse the plan) or ``interp`` (the reference interpreter);
+campaign JSON is byte-identical either way.
 """
 
 from __future__ import annotations
@@ -262,6 +266,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.jobs is not None and args.jobs < 0:
         print(f"--jobs {args.jobs}: cannot be negative", file=sys.stderr)
         return 2
+    from repro.sim import resolve_engine
+
+    try:
+        # Fail fast on a typo'd $REPRO_SIM_ENGINE instead of deep in
+        # the campaign engine (args.engine itself is argparse-checked).
+        resolve_engine(args.engine)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     configs = tuple(dict.fromkeys(args.config or ["default"]))
     unknown_configs = [c for c in configs if c not in PRESET_CONFIGS]
     if unknown_configs:
@@ -333,6 +346,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         n_workloads=args.workloads,
         seed=args.seed,
         jobs=resolve_jobs(args.jobs),
+        engine=args.engine,
     )
     result = run_campaign(spec, collect_cache_stats=args.cache_stats)
     if args.output is not None:
@@ -385,10 +399,27 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "environment:\n"
-            "  REPRO_JOBS       default worker count for --jobs 0/omitted\n"
-            "  REPRO_CACHE_DIR  default --cache-dir: a persistent,\n"
-            "                   content-addressed cache shared across\n"
-            "                   processes and runs\n"
+            "  REPRO_JOBS        default worker count for --jobs 0/omitted\n"
+            "  REPRO_CACHE_DIR   default --cache-dir: a persistent,\n"
+            "                    content-addressed cache shared across\n"
+            "                    processes and runs\n"
+            "  REPRO_SIM_ENGINE  default --engine (compiled | interp)\n"
+            "\n"
+            "simulation engines (--engine / REPRO_SIM_ENGINE):\n"
+            "  'compiled' (default) lowers each FSMD design once into a\n"
+            "  slot-indexed execution plan (repro.sim.compiled): operand\n"
+            "  readers, opcode dispatch, per-state op lists and controller\n"
+            "  transitions are resolved at compile time, and the plan is\n"
+            "  specialized per key by a cheap bind_key step — one\n"
+            "  compilation serves every key trial of a campaign (workers\n"
+            "  included; each process compiles once per design).\n"
+            "  'interp' is the reference interpreter, kept as the oracle\n"
+            "  for differential tests.  Determinism contract: both\n"
+            "  engines produce field-identical simulation results, so\n"
+            "  campaign JSON is byte-identical regardless of engine (the\n"
+            "  engine, like --jobs, never enters the serialized spec);\n"
+            "  CI gates on scripts/check_engine_parity.py and\n"
+            "  scripts/bench_sim.py tracks the throughput gap.\n"
             "\n"
             "pipelines (--pipeline, repeatable -> fifth sweep axis):\n"
             "  The obfuscation flow is a pipeline of registered stages\n"
@@ -466,6 +497,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="obfuscation pipeline(s) to sweep: FlowSpec preset name or "
         "comma-separated stage list (repeatable; default: params = "
         "stages from each config's parameter booleans; see the epilog)",
+    )
+    from repro.sim import ENGINES
+
+    campaign.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="FSMD simulation engine (default: $REPRO_SIM_ENGINE, else "
+        "compiled); results are engine-independent — see the epilog",
     )
     campaign.add_argument("-o", "--output", type=Path, default=None)
     campaign.add_argument(

@@ -57,10 +57,12 @@ class BlockVariants:
     correct_value: int
     variants: dict[int, list[VariantOp]] = field(default_factory=dict)
 
+    def selector(self, working_key: int) -> int:
+        """The selector slice this key steers the block with."""
+        return (working_key >> self.key_offset) & ((1 << self.key_bits) - 1)
+
     def select(self, working_key: int) -> list[VariantOp]:
-        mask = (1 << self.key_bits) - 1
-        selector = (working_key >> self.key_offset) & mask
-        return self.variants[selector]
+        return self.variants[self.selector(working_key)]
 
 
 @dataclass

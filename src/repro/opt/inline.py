@@ -17,7 +17,8 @@ Inlining a call site:
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+import re
+from typing import Iterator, Optional
 
 from repro.ir.basic_block import BasicBlock
 from repro.ir.callgraph import CallGraph
@@ -26,7 +27,30 @@ from repro.ir.instructions import Instruction, Opcode
 from repro.ir.types import ArrayType, IntType
 from repro.ir.values import ArrayValue, Constant, Temp, Value, Variable
 
-_clone_ids = itertools.count()
+_INLINE_SUFFIX = re.compile(r"\.inl(\d+)")
+
+
+def _next_clone_id(module: Module) -> int:
+    """First unused ``.inlN`` clone id in ``module``.
+
+    Clone ids are derived from the module itself — NOT from a
+    process-global counter.  A global counter makes every generated
+    name depend on what else was compiled earlier in the process, and
+    since the DFG-variant pass seeds its decoy RNG from block names,
+    that made obfuscated designs (and campaign JSON) depend on the
+    process layout: a worker that built benchmark A before benchmark B
+    produced a different B than a worker that built B alone.  Scanning
+    for existing suffixes keeps repeated inlining collision-free while
+    making the output a pure function of the input module.
+    """
+    highest = -1
+    for func in module.functions.values():
+        # Blocks and arrays are the name-keyed namespaces a clone could
+        # collide with (scalars compare by identity, names are cosmetic).
+        for name in itertools.chain(func.blocks, func.arrays):
+            for match in _INLINE_SUFFIX.finditer(name):
+                highest = max(highest, int(match.group(1)))
+    return highest + 1
 
 
 def inline_module(module: Module) -> bool:
@@ -36,9 +60,10 @@ def inline_module(module: Module) -> bool:
         if graph.is_recursive(name):
             raise ValueError(f"cannot inline recursive function {name!r}")
     changed = False
+    clone_ids = itertools.count(_next_clone_id(module))
     for name in graph.topological_order():
         func = module.function(name)
-        while _inline_one_call(func, module):
+        while _inline_one_call(func, module, clone_ids):
             changed = True
     # Drop functions that are now uncalled helpers (keep call-graph roots).
     roots = set(CallGraph(module).roots()) or set(module.functions)
@@ -49,7 +74,9 @@ def inline_module(module: Module) -> bool:
     return changed
 
 
-def _inline_one_call(func: Function, module: Module) -> bool:
+def _inline_one_call(
+    func: Function, module: Module, clone_ids: Iterator[int]
+) -> bool:
     """Find the first call in ``func`` and inline it; returns success."""
     for block_name in list(func.blocks):
         block = func.blocks[block_name]
@@ -58,7 +85,7 @@ def _inline_one_call(func: Function, module: Module) -> bool:
                 callee = module.get(inst.callee or "")
                 if callee is None:
                     raise ValueError(f"call to unknown function {inst.callee!r}")
-                _inline_call_site(func, block, index, inst, callee)
+                _inline_call_site(func, block, index, inst, callee, clone_ids)
                 return True
     return False
 
@@ -69,8 +96,9 @@ def _inline_call_site(
     index: int,
     call: Instruction,
     callee: Function,
+    clone_ids: Iterator[int],
 ) -> None:
-    suffix = f".inl{next(_clone_ids)}"
+    suffix = f".inl{next(clone_ids)}"
     value_map: dict[Value, Value] = {}
     array_map: dict[str, ArrayValue] = {}
 

@@ -42,9 +42,15 @@ class TestbenchVector:
 class VerilogTestbenchGenerator:
     """Emits a self-checking testbench module for one design."""
 
-    def __init__(self, design: FsmdDesign, clock_ns: float = 2.0) -> None:
+    def __init__(
+        self,
+        design: FsmdDesign,
+        clock_ns: float = 2.0,
+        engine: Optional[str] = None,
+    ) -> None:
         self.design = design
         self.clock_ns = clock_ns
+        self.engine = engine
         self.lines: list[str] = []
 
     def _line(self, text: str = "", indent: int = 0) -> None:
@@ -126,6 +132,7 @@ class VerilogTestbenchGenerator:
             dict(vector.bench.arrays),
             working_key=vector.working_key,
             max_cycles=50_000,
+            engine=self.engine,
         )
         budget = max(16, 2 * sim.cycles)
         tag = "EXPECT_PASS" if vector.expect_match else "EXPECT_FAIL"
@@ -175,8 +182,13 @@ def generate_testbench(
     correct_working_key: int = 0,
     wrong_working_keys: Sequence[int] = (),
     clock_ns: float = 2.0,
+    engine: Optional[str] = None,
 ) -> str:
-    """Emit a testbench exercising correct and wrong keys (§4.1)."""
+    """Emit a testbench exercising correct and wrong keys (§4.1).
+
+    The emitted text is engine-independent: ``engine`` only selects
+    which FSMD engine computes the (identical) cycle budgets.
+    """
     vectors: list[TestbenchVector] = []
     for bench in benches:
         vectors.append(
@@ -188,4 +200,4 @@ def generate_testbench(
             vectors.append(
                 TestbenchVector(bench=bench, working_key=wrong, expect_match=False)
             )
-    return VerilogTestbenchGenerator(design, clock_ns).emit(vectors)
+    return VerilogTestbenchGenerator(design, clock_ns, engine=engine).emit(vectors)

@@ -243,9 +243,13 @@ class CampaignSpec:
     :data:`PRESET_BUDGETS`, and ``pipelines`` holds FlowSpec labels —
     preset names, comma-separated stage lists, or the
     :data:`PIPELINE_FROM_PARAMS` sentinel (default) meaning "stages
-    from the config's parameter booleans".  ``jobs`` is an execution
-    knob only: it is deliberately excluded from the serialized spec so
-    parallel and serial runs emit identical JSON.
+    from the config's parameter booleans".  ``jobs`` and ``engine``
+    are execution knobs only: they are deliberately excluded from the
+    serialized spec so parallel-vs-serial and compiled-vs-interpreted
+    runs emit identical JSON.  ``engine`` selects the FSMD simulation
+    engine for every trial (``"compiled"`` / ``"interp"``; ``None``
+    defers to ``$REPRO_SIM_ENGINE``, default compiled) — see
+    :mod:`repro.sim.compiled` for the determinism contract.
 
     ``extra_configs`` is normalized on construction (entries and their
     override items are sorted), so a spec rebuilt from ``to_dict()``
@@ -261,6 +265,7 @@ class CampaignSpec:
     n_workloads: int = 1
     seed: int = 7
     jobs: int = 1
+    engine: Optional[str] = None
     extra_configs: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
 
     def __post_init__(self) -> None:
@@ -332,7 +337,7 @@ def _run_unit(
     serialized timing-free (``StageReport.to_dict`` default), keeping
     the unit payload byte-deterministic.
     """
-    spec_dict, key_parallel_jobs, cache_dir = shared
+    spec_dict, key_parallel_jobs, cache_dir, engine = shared
     benchmark_name, config, key_scheme, budget, pipeline = task
     from repro.benchsuite import get_benchmark
     from repro.runtime.cache import (
@@ -381,6 +386,7 @@ def _run_unit(
         n_keys=spec.n_keys,
         seed=seed,
         jobs=key_parallel_jobs,
+        engine=engine,
     )
     return {
         "unit": {
@@ -453,6 +459,7 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
     """
     from repro.runtime.cache import active_cache_dir, backend_provenance
     from repro.runtime.results import CampaignResult, CampaignUnit
+    from repro.sim.compiled import resolve_engine
 
     started = time.monotonic()
     tasks = spec.units()
@@ -464,12 +471,16 @@ def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
     spec_dict = spec.to_dict()
     jobs = max(1, spec.jobs)
     key_jobs = max(1, -(-jobs // len(tasks))) if jobs > len(tasks) else 1
+    # The engine is resolved here (not in the workers) so spawned
+    # processes honour the parent's $REPRO_SIM_ENGINE regardless of
+    # their inherited environment.
+    engine = resolve_engine(spec.engine)
     # A single-unit campaign runs inline in parallel_map with the whole
     # worker budget as key_jobs, so its key trials still use every core.
     outcomes = parallel_map(
         _run_unit,
         tasks,
-        shared=(spec_dict, key_jobs, active_cache_dir()),
+        shared=(spec_dict, key_jobs, active_cache_dir(), engine),
         jobs=jobs,
     )
     result = CampaignResult(

@@ -1,6 +1,16 @@
-"""Simulation: golden IR interpreter, cycle-accurate FSMD simulator and
-testbench harness."""
+"""Simulation: golden IR interpreter, cycle-accurate FSMD simulator
+(reference interpreter + compiled execution engine) and testbench
+harness.  :func:`resolve_engine` picks the FSMD engine: explicit
+argument > ``$REPRO_SIM_ENGINE`` > ``"compiled"``."""
 
+from repro.sim.compiled import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV,
+    ENGINES,
+    CompiledDesign,
+    compiled_for,
+    resolve_engine,
+)
 from repro.sim.fsmd_sim import FsmdSimulator, SimulationError, SimulationResult, simulate
 from repro.sim.interpreter import (
     ExecutionResult,
@@ -18,6 +28,10 @@ from repro.sim.testbench import (
 )
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV",
+    "ENGINES",
+    "CompiledDesign",
     "ExecutionResult",
     "FsmdSimulator",
     "Interpreter",
@@ -26,9 +40,11 @@ __all__ = [
     "SimulationResult",
     "Testbench",
     "TestbenchOutcome",
+    "compiled_for",
     "default_observed_arrays",
     "hamming_distance_fraction",
     "output_bit_vector",
+    "resolve_engine",
     "run_function",
     "run_testbench",
     "simulate",

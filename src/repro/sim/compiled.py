@@ -1,0 +1,697 @@
+"""Compiled FSMD execution engine: lower a design once, run many keys.
+
+The reference interpreter (:class:`repro.sim.fsmd_sim.FsmdSimulator`)
+re-resolves everything per cycle: ``isinstance`` dispatch on operand
+kinds, ``register_of`` dictionary lookups, cstep-filtering of each
+state's operation list and per-cycle variant selection.  A §4.3
+validation campaign pays that cost once per cycle per key — thousands
+of times over for work whose answer never changes.
+
+:class:`CompiledDesign` lowers a bound :class:`~repro.hls.design.
+FsmdDesign` **once** into a flat execution plan:
+
+* registers become a ``list[int]`` with slot indices precomputed per
+  value, and memories a ``list[list[int]]`` with slot indices
+  precomputed per array;
+* each state's operations are pre-filtered by cstep and compiled into
+  straight-line step closures whose operand readers (constant /
+  obfuscated-constant decode / register slot) and opcode arithmetic
+  are resolved at compile time — no per-cycle dispatch;
+* controller transitions are pre-resolved into ``(condition reader,
+  key-bit cell, true index, false index)`` records;
+* per-block DFG variant tables are compiled for every selector value
+  up front, so selecting a variant under a key is a dict hit.
+
+Key-dependent pieces — obfuscated-constant decodes, ROM decode masks,
+variant selections and branch key bits — live in small mutable cells
+that :meth:`CompiledDesign.bind_key` fills per working key, so one
+compilation serves every key of a campaign.
+
+Determinism contract: for any design, arguments, arrays, key and cycle
+budget, the compiled engine's :class:`~repro.sim.fsmd_sim.
+SimulationResult` is **field-identical** to the interpreter's (return
+value, arrays, cycle count, completed flag and — when tracing — the
+state trace).  ``tests/test_sim_compiled.py`` asserts this
+differentially over every benchmark, preset pipeline and key class;
+the interpreter remains the oracle.
+
+Engine seam: :func:`resolve_engine` picks the engine for
+``simulate``/``run_testbench`` — an explicit ``engine`` argument wins,
+then the ``REPRO_SIM_ENGINE`` environment variable, then the default
+``"compiled"``.  :func:`compiled_for` memoizes compilations per design
+object (guarded by a cheap obfuscation-metadata fingerprint, so
+re-obfuscating a design in place recompiles rather than running stale
+code).
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from collections import OrderedDict
+from typing import Callable, Optional, Sequence
+
+from repro.hls.controller import StateId
+from repro.hls.design import FsmdDesign, VariantOp
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.types import IntType
+from repro.ir.values import Constant, ObfuscatedConstant, Value
+from repro.sim.fsmd_sim import (
+    SimulationError,
+    SimulationResult,
+    zero_size_memory_error,
+)
+
+#: Environment variable selecting the default simulation engine.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+#: Known engines: the compiled plan and the reference interpreter.
+ENGINES = ("compiled", "interp")
+DEFAULT_ENGINE = "compiled"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """The engine to run: explicit choice > ``$REPRO_SIM_ENGINE`` > default."""
+    choice = engine or os.environ.get(ENGINE_ENV) or DEFAULT_ENGINE
+    if choice not in ENGINES:
+        raise ValueError(
+            f"unknown simulation engine {choice!r}; available: "
+            f"{', '.join(ENGINES)}"
+        )
+    return choice
+
+
+_Reader = Callable[[list], int]
+
+
+def _wrap_fn(type_: IntType) -> Callable[[int], int]:
+    """A closure computing ``type_.wrap`` without attribute lookups."""
+    mask = (1 << type_.width) - 1
+    if not type_.signed:
+        return lambda v: v & mask
+    sign = 1 << (type_.width - 1)
+    return lambda v: ((v + sign) & mask) - sign
+
+
+def _arith_fn(
+    opcode: Opcode, operand_types: list[IntType], result_type: IntType
+) -> Optional[Callable]:
+    """Compile one datapath opcode to a closure over Python ints.
+
+    Mirrors :func:`repro.opt.constant_folding.evaluate_op` exactly
+    (including division-by-zero totality, shift-modulo semantics and
+    the operand-type bit masking of the bitwise ops), with the result
+    wrap folded in — the bit-identity contract with the interpreter
+    rests on this correspondence.
+    """
+    wrap = _wrap_fn(result_type)
+    if opcode is Opcode.ADD:
+        return lambda a, b: wrap(a + b)
+    if opcode is Opcode.SUB:
+        return lambda a, b: wrap(a - b)
+    if opcode is Opcode.MUL:
+        return lambda a, b: wrap(a * b)
+    if opcode is Opcode.DIV:
+
+        def div(a: int, b: int) -> int:
+            if b == 0:
+                return wrap(0)
+            quotient = abs(a) // abs(b)
+            return wrap(-quotient if (a < 0) != (b < 0) else quotient)
+
+        return div
+    if opcode is Opcode.REM:
+
+        def rem(a: int, b: int) -> int:
+            if b == 0:
+                return wrap(0)
+            magnitude = abs(a) % abs(b)
+            return wrap(-magnitude if a < 0 else magnitude)
+
+        return rem
+    if opcode is Opcode.NEG:
+        return lambda a: wrap(-a)
+    if opcode in (Opcode.AND, Opcode.OR, Opcode.XOR):
+        mask0 = (1 << operand_types[0].width) - 1
+        mask1 = (1 << operand_types[1].width) - 1
+        if opcode is Opcode.AND:
+            return lambda a, b: wrap((a & mask0) & (b & mask1))
+        if opcode is Opcode.OR:
+            return lambda a, b: wrap((a & mask0) | (b & mask1))
+        return lambda a, b: wrap((a & mask0) ^ (b & mask1))
+    if opcode is Opcode.NOT:
+        return lambda a: wrap(~a)
+    if opcode in (Opcode.SHL, Opcode.SHR):
+        modulus = max(1, result_type.width)
+        if opcode is Opcode.SHL:
+            return lambda a, b: wrap(a << (b % modulus))
+        if operand_types[0].signed:
+            return lambda a, b: wrap(a >> (b % modulus))
+        mask0 = (1 << operand_types[0].width) - 1
+        return lambda a, b: wrap((a & mask0) >> (b % modulus))
+    if opcode in (Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE):
+        true_value = wrap(1)
+        false_value = wrap(0)
+        if opcode is Opcode.EQ:
+            return lambda a, b: true_value if a == b else false_value
+        if opcode is Opcode.NE:
+            return lambda a, b: true_value if a != b else false_value
+        if opcode is Opcode.LT:
+            return lambda a, b: true_value if a < b else false_value
+        if opcode is Opcode.LE:
+            return lambda a, b: true_value if a <= b else false_value
+        if opcode is Opcode.GT:
+            return lambda a, b: true_value if a > b else false_value
+        return lambda a, b: true_value if a >= b else false_value
+    if opcode is Opcode.MOV:
+        return lambda a: wrap(a)
+    return None
+
+
+class CompiledDesign:
+    """One FSMD design lowered into a slot-indexed execution plan.
+
+    Compile once (the constructor), then :meth:`run` any number of
+    trials; :meth:`bind_key` specializes the key-dependent cells per
+    working key and is called automatically by :meth:`run`.  Instances
+    hold closures and are deliberately **not picklable** — worker
+    processes compile their own plan from the (picklable) design via
+    :func:`compiled_for`.
+    """
+
+    def __init__(self, design: FsmdDesign) -> None:
+        self.design = design
+        binding = design.binding
+        # --- flat register file ------------------------------------
+        self._reg_slots: dict[str, int] = {
+            r.name: i for i, r in enumerate(binding.registers)
+        }
+        self._n_regs = len(binding.registers)
+        # --- flat memories -----------------------------------------
+        self._mem_slots: dict[str, int] = {}
+        self._mem_names: list[str] = []
+        self._memory_specs: list[tuple] = []
+        for name, memory_binding in binding.memories.items():
+            self._mem_slots[name] = len(self._mem_names)
+            self._mem_names.append(name)
+            array = memory_binding.array
+            rom = design.obfuscated_roms.get(name)
+            self._memory_specs.append(
+                (name, array, rom, _wrap_fn(array.element_type))
+            )
+        # --- key-dependent cells (filled by bind_key) --------------
+        self._kconst_cells: dict[ObfuscatedConstant, list[int]] = {}
+        self._rom_cells: dict[str, list[int]] = {}
+        self._rom_binds: list[tuple] = []
+        self._kb_binds: list[tuple[int, list[int]]] = []
+        self._variant_binds: list[tuple] = []
+        self._bound_key: Optional[int] = None
+        # --- wrap elision: registers written by exactly one type can
+        # be read back without re-wrapping (values are stored wrapped).
+        self._slot_write_types = self._collect_write_types()
+        # --- scalar-argument latches -------------------------------
+        scalar_params = design.func.scalar_params()
+        self._n_scalar_params = len(scalar_params)
+        self._param_latches: list[Optional[tuple[int, Callable]]] = []
+        for param in scalar_params:
+            register = binding.register_of.get(param)
+            if register is None:
+                self._param_latches.append(None)
+            else:
+                assert isinstance(param.type, IntType)
+                self._param_latches.append(
+                    (self._reg_slots[register.name], param.type.wrap)
+                )
+        # --- states, ops and transitions ---------------------------
+        states = design.controller.states
+        self._idx_of: dict[StateId, int] = {s: i for i, s in enumerate(states)}
+        self._state_names = [str(s) for s in states]
+        self._done: list[bool] = []
+        self._trans: list[tuple] = []
+        self._state_ops: list[list] = [[] for _ in states]
+        for idx, state in enumerate(states):
+            if state.block not in design.block_variants:
+                block_schedule = design.schedule.blocks[state.block]
+                self._state_ops[idx] = self._compile_ops(
+                    block_schedule.instructions_at(state.step)
+                )
+            self._compile_transition(state)
+        for block_name, variants in design.block_variants.items():
+            tables: list[tuple[int, dict[int, list]]] = []
+            for state, idx in self._idx_of.items():
+                if state.block != block_name:
+                    continue
+                per_selector = {
+                    selector: self._compile_ops(
+                        [op for op in ops if op.cstep == state.step]
+                    )
+                    for selector, ops in variants.variants.items()
+                }
+                tables.append((idx, per_selector))
+            self._variant_binds.append((variants, tables))
+        entry = design.controller.entry_state
+        assert entry is not None
+        self._entry_idx = self._idx_of[entry]
+
+    # ------------------------------------------------------------------
+    # Compilation helpers
+    # ------------------------------------------------------------------
+    def _collect_write_types(self) -> dict[int, set[IntType]]:
+        """Every IntType stored into each register slot (any path)."""
+        design = self.design
+        written: dict[int, set[IntType]] = {}
+
+        def note(result: Optional[Value]) -> None:
+            if result is None:
+                return
+            register = design.binding.register_of.get(result)
+            if register is None:
+                return
+            if isinstance(result.type, IntType):
+                written.setdefault(
+                    self._reg_slots[register.name], set()
+                ).add(result.type)
+
+        for param in design.func.scalar_params():
+            note(param)
+        for block_schedule in design.schedule.blocks.values():
+            for inst in block_schedule.block.instructions:
+                note(inst.result)
+        for variants in design.block_variants.values():
+            for ops in variants.variants.values():
+                for op in ops:
+                    note(op.result)
+        return written
+
+    def _reader(self, value: Value) -> _Reader:
+        """Compile one operand read against the flat register file."""
+        if isinstance(value, ObfuscatedConstant):
+            cell = self._kconst_cells.setdefault(value, [0])
+            return lambda regs, _c=cell: _c[0]
+        if isinstance(value, Constant):
+            return lambda regs, _v=value.value: _v
+        register = self.design.binding.register_of.get(value)
+        if register is None:
+            raise SimulationError(f"value {value} has no bound register")
+        slot = self._reg_slots[register.name]
+        assert isinstance(value.type, IntType)
+        # Registers only ever hold values wrapped at write time; when
+        # every writer shares this reader's type the stored value is
+        # already in range and the read-side wrap is the identity.
+        if self._slot_write_types.get(slot) == {value.type}:
+            return lambda regs, _s=slot: regs[_s]
+        wrap = _wrap_fn(value.type)
+        return lambda regs, _s=slot, _w=wrap: _w(regs[_s])
+
+    def _result_slot(self, result: Value) -> tuple[int, Callable[[int], int]]:
+        register = self.design.binding.register_of.get(result)
+        if register is None:
+            raise SimulationError(f"value {result} has no bound register")
+        assert isinstance(result.type, IntType)
+        return self._reg_slots[register.name], _wrap_fn(result.type)
+
+    def _rom_cell(self, array_name: str, element_type: IntType) -> list[int]:
+        cell = self._rom_cells.get(array_name)
+        if cell is None:
+            cell = [0]
+            self._rom_cells[array_name] = cell
+            rom = self.design.obfuscated_roms[array_name]
+            self._rom_binds.append((rom, element_type, cell))
+        return cell
+
+    def _compile_ops(self, ops: Sequence) -> list:
+        compiled = [self._compile_op(op) for op in ops]
+        return [ex for ex in compiled if ex is not None]
+
+    def _compile_op(self, op) -> Optional[Callable]:
+        if isinstance(op, Instruction):
+            opcode = op.opcode
+            result = op.result
+            operands = list(op.operands)
+            array_name = op.array.name if op.array is not None else None
+        else:
+            assert isinstance(op, VariantOp)
+            opcode = op.opcode
+            result = op.result
+            operands = list(op.operands)
+            array_name = op.array_name
+
+        if opcode in (Opcode.JUMP, Opcode.BRANCH):
+            return None  # handled by the compiled transitions
+        if opcode is Opcode.RET:
+            if operands:
+                read = self._reader(operands[0])
+
+                def ex_ret(regs, mems, writes, memw, _r=read):
+                    return _r(regs)
+
+                return ex_ret
+
+            def ex_ret_void(regs, mems, writes, memw):
+                return 0
+
+            return ex_ret_void
+        if opcode is Opcode.LOAD:
+            assert array_name is not None and result is not None
+            mem_idx = self._mem_slots[array_name]
+            index_read = self._reader(operands[0])
+            slot, wrap = self._result_slot(result)
+            rom = self.design.obfuscated_roms.get(array_name)
+            if rom is None:
+
+                def ex_load(
+                    regs,
+                    mems,
+                    writes,
+                    memw,
+                    _m=mem_idx,
+                    _i=index_read,
+                    _s=slot,
+                    _w=wrap,
+                    _name=array_name,
+                ):
+                    memory = mems[_m]
+                    size = len(memory)
+                    if size == 0:
+                        raise zero_size_memory_error(_name)
+                    writes.append((_s, _w(memory[_i(regs) % size])))
+
+                return ex_load
+            element_type = self.design.func.arrays[array_name].element_type
+            element_mask = (1 << element_type.width) - 1
+            element_wrap = _wrap_fn(element_type)
+            cell = self._rom_cell(array_name, element_type)
+
+            def ex_load_rom(
+                regs,
+                mems,
+                writes,
+                memw,
+                _m=mem_idx,
+                _i=index_read,
+                _s=slot,
+                _w=wrap,
+                _em=element_mask,
+                _ew=element_wrap,
+                _c=cell,
+                _name=array_name,
+            ):
+                memory = mems[_m]
+                size = len(memory)
+                if size == 0:
+                    raise zero_size_memory_error(_name)
+                raw = memory[_i(regs) % size]
+                writes.append((_s, _w(_ew((raw & _em) ^ _c[0]))))
+
+            return ex_load_rom
+        if opcode is Opcode.STORE:
+            assert array_name is not None
+            mem_idx = self._mem_slots[array_name]
+            index_read = self._reader(operands[0])
+            value_read = self._reader(operands[1])
+            element_type = self.design.func.arrays[array_name].element_type
+            element_wrap = _wrap_fn(element_type)
+
+            def ex_store(
+                regs,
+                mems,
+                writes,
+                memw,
+                _m=mem_idx,
+                _i=index_read,
+                _v=value_read,
+                _ew=element_wrap,
+            ):
+                memw.append((_m, _i(regs), _ew(_v(regs))))
+
+            return ex_store
+        if opcode is Opcode.CALL:
+            raise SimulationError("calls must be inlined before simulation")
+        # Datapath op or MOV.
+        assert result is not None
+        assert isinstance(result.type, IntType)
+        operand_types: list[IntType] = []
+        for operand in operands:
+            assert isinstance(operand.type, IntType)
+            operand_types.append(operand.type)
+        fn = _arith_fn(opcode, operand_types, result.type)
+        if fn is None:
+            raise SimulationError(f"cannot evaluate opcode {opcode}")
+        slot, _ = self._result_slot(result)
+        if all(isinstance(v, Constant) for v in operands):
+            # Fully-constant op: fold at compile time (the interpreter
+            # recomputes the same value every cycle).
+            value = fn(*[v.value for v in operands])
+
+            def ex_const(regs, mems, writes, memw, _s=slot, _v=value):
+                writes.append((_s, _v))
+
+            return ex_const
+        readers = [self._reader(v) for v in operands]
+        if len(readers) == 1:
+
+            def ex_unary(regs, mems, writes, memw, _r=readers[0], _f=fn, _s=slot):
+                writes.append((_s, _f(_r(regs))))
+
+            return ex_unary
+
+        def ex_binary(
+            regs, mems, writes, memw, _a=readers[0], _b=readers[1], _f=fn, _s=slot
+        ):
+            writes.append((_s, _f(_a(regs), _b(regs))))
+
+        return ex_binary
+
+    def _compile_transition(self, state: StateId) -> None:
+        transition = self.design.controller.transitions[state]
+        self._done.append(transition.is_done)
+        if transition.condition is not None:
+            reader = self._reader(transition.condition)
+            key_bit_cell = [0]
+            if transition.key_bit is not None:
+                self._kb_binds.append((transition.key_bit, key_bit_cell))
+            true_idx = (
+                self._idx_of[transition.true_state]
+                if transition.true_state is not None
+                else None
+            )
+            false_idx = (
+                self._idx_of[transition.false_state]
+                if transition.false_state is not None
+                else None
+            )
+            self._trans.append((1, reader, key_bit_cell, true_idx, false_idx))
+        else:
+            next_idx = (
+                self._idx_of[transition.next_state]
+                if transition.next_state is not None
+                else None
+            )
+            self._trans.append((0, next_idx))
+
+    # ------------------------------------------------------------------
+    # Per-key specialization
+    # ------------------------------------------------------------------
+    def bind_key(self, working_key: int) -> None:
+        """Fill every key-dependent cell for ``working_key``.
+
+        Cheap — O(obfuscated constants + ROMs + masked branches +
+        variant blocks), independent of cycle count — and memoized on
+        the last bound key, so re-running the same key rebinds nothing.
+        """
+        if working_key == self._bound_key:
+            return
+        for oc, cell in self._kconst_cells.items():
+            cell[0] = oc.decode(working_key)
+        for rom, element_type, cell in self._rom_binds:
+            cell[0] = rom.mask_for(element_type, working_key)
+        for bit, cell in self._kb_binds:
+            cell[0] = (working_key >> bit) & 1
+        state_ops = self._state_ops
+        for variants, tables in self._variant_binds:
+            selector = variants.selector(working_key)
+            for idx, per_selector in tables:
+                state_ops[idx] = per_selector[selector]
+        self._bound_key = working_key
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _initial_memories(
+        self, arrays: Optional[dict[str, list[int]]]
+    ) -> tuple[list[list[int]], dict[str, list[int]]]:
+        """Slot-indexed memory images plus the name-keyed view of them.
+
+        Both structures share the same lists, so the dict (returned in
+        ``SimulationResult.arrays``) reflects every committed store.
+        """
+        mems: list[list[int]] = []
+        by_name: dict[str, list[int]] = {}
+        for name, array, rom, element_wrap in self._memory_specs:
+            if rom is not None:
+                memory = list(rom.encrypted_image)
+            elif arrays is not None and array.name in arrays:
+                provided = list(arrays[array.name])
+                if len(provided) < array.size:
+                    provided += [0] * (array.size - len(provided))
+                memory = [element_wrap(v) for v in provided[: array.size]]
+            elif array.initializer is not None:
+                memory = [element_wrap(v) for v in array.initializer]
+            else:
+                memory = [0] * array.size
+            mems.append(memory)
+            by_name[name] = memory
+        return mems, by_name
+
+    def run(
+        self,
+        args: Sequence[int] = (),
+        arrays: Optional[dict[str, list[int]]] = None,
+        working_key: int = 0,
+        max_cycles: int = 2_000_000,
+        trace: bool = False,
+    ) -> SimulationResult:
+        if len(args) != self._n_scalar_params:
+            raise SimulationError(
+                f"{self.design.func.name} expects {self._n_scalar_params} "
+                f"scalar args, got {len(args)}"
+            )
+        self.bind_key(working_key)
+        regs = [0] * self._n_regs
+        for latch, arg in zip(self._param_latches, args):
+            if latch is not None:
+                slot, wrap = latch
+                regs[slot] = wrap(arg)
+        mems, arrays_by_name = self._initial_memories(arrays)
+
+        state_ops = self._state_ops
+        transitions = self._trans
+        done = self._done
+        state_names = self._state_names
+        mem_names = self._mem_names
+        state = self._entry_idx
+        state_trace: list[str] = []
+        writes: list[tuple[int, int]] = []
+        memory_writes: list[tuple[int, int, int]] = []
+        cycles = 0
+        completed = False
+        return_register_value: Optional[int] = None
+        while cycles < max_cycles:
+            cycles += 1
+            if trace:
+                state_trace.append(state_names[state])
+            returned: Optional[int] = None
+            ops = state_ops[state]
+            if ops:
+                # Phase 1: combinational reads against old register
+                # values; Phase 2: clock edge — commit the writes.
+                del writes[:]
+                del memory_writes[:]
+                for ex in ops:
+                    value = ex(regs, mems, writes, memory_writes)
+                    if value is not None:
+                        returned = value
+                for slot, value in writes:
+                    regs[slot] = value
+                for mem_idx, index, value in memory_writes:
+                    memory = mems[mem_idx]
+                    size = len(memory)
+                    if size == 0:
+                        raise zero_size_memory_error(mem_names[mem_idx])
+                    memory[index % size] = value
+            if returned is not None or done[state]:
+                return_register_value = returned
+                completed = True
+                break
+            transition = transitions[state]
+            if transition[0]:
+                condition = transition[1](regs)
+                next_state = (
+                    transition[3]
+                    if (condition & 1) ^ transition[2][0]
+                    else transition[4]
+                )
+            else:
+                next_state = transition[1]
+            if next_state is None:
+                completed = True
+                break
+            state = next_state
+
+        return SimulationResult(
+            return_value=return_register_value,
+            arrays=arrays_by_name,
+            cycles=cycles,
+            completed=completed,
+            state_trace=state_trace,
+        )
+
+
+# ----------------------------------------------------------------------
+# Compile-once cache
+# ----------------------------------------------------------------------
+def _design_fingerprint(design: FsmdDesign) -> tuple:
+    """Cheap invalidation key over the mutable obfuscation metadata.
+
+    Every TAO pass grows one of these collections (or the key config),
+    so obfuscating a design in place after a baseline simulation
+    rotates the fingerprint and forces a recompile.  Mutating the
+    schedule or binding of an already-simulated design in place is not
+    detected — build a fresh design (as every repo flow does) instead.
+    """
+    return (
+        len(design.obfuscated_constants),
+        len(design.masked_branches),
+        len(design.block_variants),
+        len(design.obfuscated_roms),
+        len(design.controller.transitions),
+        design.key_config.working_key_bits,
+        design.key_config.correct_working_key,
+    )
+
+
+_COMPILE_CACHE: OrderedDict[int, tuple[weakref.ref, tuple, CompiledDesign]] = (
+    OrderedDict()
+)
+#: A cached plan keeps its design alive (the plan's closures reference
+#: design values), so the cache is a small LRU rather than unbounded:
+#: campaigns touch one design per unit and attack sweeps a handful, so
+#: a few slots cover the access pattern while bounding memory in
+#: long-lived processes that churn through many designs.
+_COMPILE_CACHE_LIMIT = 8
+
+
+def compiled_for(design: FsmdDesign) -> CompiledDesign:
+    """The (memoized) compiled plan for ``design``.
+
+    Keyed on object identity and validated against
+    :func:`_design_fingerprint`.  The cache holds at most
+    :data:`_COMPILE_CACHE_LIMIT` recent plans (each pins its design
+    until evicted); entries for designs that die early are evicted by
+    the weakref callback, so a recycled ``id()`` can never resurrect a
+    stale plan.
+    """
+    key = id(design)
+    entry = _COMPILE_CACHE.get(key)
+    if entry is not None:
+        ref, fingerprint, compiled = entry
+        if ref() is design and fingerprint == _design_fingerprint(design):
+            _COMPILE_CACHE.move_to_end(key)
+            return compiled
+    compiled = CompiledDesign(design)
+
+    # The cache dict is captured as a default so the callback still
+    # works during interpreter shutdown, when module globals are None.
+    def _evict(
+        _ref: weakref.ref, _key: int = key, _cache: dict = _COMPILE_CACHE
+    ) -> None:
+        _cache.pop(_key, None)
+
+    _COMPILE_CACHE[key] = (
+        weakref.ref(design, _evict),
+        _design_fingerprint(design),
+        compiled,
+    )
+    _COMPILE_CACHE.move_to_end(key)
+    while len(_COMPILE_CACHE) > _COMPILE_CACHE_LIMIT:
+        _COMPILE_CACHE.popitem(last=False)
+    return compiled

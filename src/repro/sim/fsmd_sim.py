@@ -37,6 +37,17 @@ class SimulationError(Exception):
     """Raised on malformed designs or exceeded cycle budgets."""
 
 
+def zero_size_memory_error(name: str) -> SimulationError:
+    """The (single-sourced) error for indexing an empty memory image.
+
+    Both engines raise this identically-worded error — the engine
+    parity contract covers error behaviour too.
+    """
+    return SimulationError(
+        f"memory {name!r} has zero size; cannot index into it"
+    )
+
+
 @dataclass
 class SimulationResult:
     """Outcome of one FSMD run.
@@ -70,6 +81,10 @@ class FsmdSimulator:
         self.design = design
         self.max_cycles = max_cycles
         self.trace = trace
+        # Per-(state, selected-variant) op lists: loops revisit the
+        # same states thousands of times, and rebuilding the filtered
+        # list each cycle made long runs quadratic-feeling.
+        self._ops_cache: dict[tuple, list] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -133,6 +148,8 @@ class FsmdSimulator:
                 registers[name] = value
             for array_name, index, value in memory_writes:
                 memory = memories[array_name]
+                if not memory:
+                    raise zero_size_memory_error(array_name)
                 memory[index % len(memory)] = value
             if returned is not None or self._is_done(state):
                 return_register_value = returned
@@ -192,13 +209,28 @@ class FsmdSimulator:
         return memories
 
     def _state_ops(self, state: StateId, working_key: int) -> list:
-        """Operations executing in ``state`` under the given key."""
+        """Operations executing in ``state`` under the given key.
+
+        Memoized per (state, selected variant): the op list of a state
+        is a pure function of the design and the key slice steering its
+        block, so it is computed once per run instead of once per cycle.
+        """
         variants = self.design.block_variants.get(state.block)
-        if variants is not None:
-            selected = variants.select(working_key)
-            return [op for op in selected if op.cstep == state.step]
-        block_schedule = self.design.schedule.blocks[state.block]
-        return block_schedule.instructions_at(state.step)
+        selector = None if variants is None else variants.selector(working_key)
+        key = (state, selector)
+        ops = self._ops_cache.get(key)
+        if ops is None:
+            if variants is None:
+                block_schedule = self.design.schedule.blocks[state.block]
+                ops = block_schedule.instructions_at(state.step)
+            else:
+                ops = [
+                    op
+                    for op in variants.variants[selector]
+                    if op.cstep == state.step
+                ]
+            self._ops_cache[key] = ops
+        return ops
 
     def _is_done(self, state: StateId) -> bool:
         return self.design.controller.transitions[state].is_done
@@ -232,6 +264,8 @@ class FsmdSimulator:
         if opcode is Opcode.LOAD:
             assert array_name is not None and result is not None
             memory = memories[array_name]
+            if not memory:
+                raise zero_size_memory_error(array_name)
             index = self._read_value(operands[0], registers, working_key)
             value = memory[index % len(memory)]
             rom = self.design.obfuscated_roms.get(array_name)
@@ -291,6 +325,21 @@ def simulate(
     arrays: Optional[dict[str, list[int]]] = None,
     working_key: int = 0,
     max_cycles: int = 2_000_000,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
-    """Convenience wrapper around :class:`FsmdSimulator`."""
+    """Run one FSMD trial on the selected engine.
+
+    ``engine`` is ``"compiled"`` (the default: the design is lowered
+    once by :mod:`repro.sim.compiled` and the plan is reused across
+    calls and keys) or ``"interp"`` (this module's reference
+    interpreter); ``None`` defers to ``$REPRO_SIM_ENGINE``.  Both
+    engines return field-identical :class:`SimulationResult`\\ s —
+    the differential tests assert it.
+    """
+    from repro.sim.compiled import compiled_for, resolve_engine
+
+    if resolve_engine(engine) == "compiled":
+        return compiled_for(design).run(
+            args, arrays=arrays, working_key=working_key, max_cycles=max_cycles
+        )
     return FsmdSimulator(design, max_cycles=max_cycles).run(args, arrays, working_key)

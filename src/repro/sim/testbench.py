@@ -114,11 +114,16 @@ def run_testbench(
     working_key: int = 0,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     golden_cache: Union[GoldenCache, None, _DefaultCache] = _DEFAULT_CACHE,
+    engine: Optional[str] = None,
 ) -> TestbenchOutcome:
     """Run golden software and FSMD simulation; compare observables.
 
     The golden interpretation is memoized (see module docstring);
     ``golden_cache=None`` disables the cache for this call.
+    ``engine`` selects the FSMD engine (``"compiled"`` default,
+    ``"interp"`` reference; ``None`` defers to ``$REPRO_SIM_ENGINE``)
+    — the outcome is engine-independent by the determinism contract
+    of :mod:`repro.sim.compiled`.
     """
     module = design.module
     func_name = design.func.name
@@ -142,6 +147,7 @@ def run_testbench(
         dict(bench.arrays),
         working_key=working_key,
         max_cycles=max_cycles,
+        engine=engine,
     )
     simulated_bits = output_bit_vector(
         simulated.return_value, simulated.arrays, observed, module, func_name

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.sim.testbench import (
     Testbench,
@@ -46,12 +46,20 @@ def random_key_attack(
     benches: Sequence[Testbench],
     n_keys: int = 50,
     seed: int = 0xA77AC,
+    engine: Optional[str] = None,
 ) -> RandomKeyAttackResult:
-    """Guess random locking keys; count how many unlock the design."""
+    """Guess random locking keys; count how many unlock the design.
+
+    ``engine`` selects the FSMD engine for every probe (compiled
+    default); attack outcomes are engine-independent.
+    """
     rng = random.Random(seed)
     design = component.design
     good = run_testbench(
-        design, benches[0], working_key=component.correct_working_key
+        design,
+        benches[0],
+        working_key=component.correct_working_key,
+        engine=engine,
     )
     cap = max(8 * good.cycles, 4000)
     unlocking = 0
@@ -64,7 +72,9 @@ def random_key_attack(
         all_match = True
         hamming_sum = 0.0
         for bench in benches:
-            outcome = run_testbench(design, bench, working_key=working, max_cycles=cap)
+            outcome = run_testbench(
+                design, bench, working_key=working, max_cycles=cap, engine=engine
+            )
             all_match &= outcome.matches
             hamming_sum += hamming_distance_fraction(
                 outcome.golden_bits, outcome.simulated_bits
@@ -100,6 +110,7 @@ def key_sensitivity_analysis(
     bench: Testbench,
     max_bits_per_category: int = 16,
     seed: int = 5,
+    engine: Optional[str] = None,
 ) -> KeySensitivityResult:
     """Flip individual working-key bits and record which corrupt outputs.
 
@@ -110,7 +121,7 @@ def key_sensitivity_analysis(
     design = component.design
     config = design.key_config
     correct = component.correct_working_key
-    good = run_testbench(design, bench, working_key=correct)
+    good = run_testbench(design, bench, working_key=correct, engine=engine)
     cap = max(8 * good.cycles, 4000)
     rng = random.Random(seed)
 
@@ -141,7 +152,11 @@ def key_sensitivity_analysis(
         category_affecting = 0
         for bit in sample:
             outcome = run_testbench(
-                design, bench, working_key=correct ^ (1 << bit), max_cycles=cap
+                design,
+                bench,
+                working_key=correct ^ (1 << bit),
+                max_cycles=cap,
+                engine=engine,
             )
             category_affecting += not outcome.matches
         probed += len(sample)
@@ -171,6 +186,7 @@ def brute_force_slice_with_oracle(
     bench: Testbench,
     which: str = "branch",
     seed: int = 9,
+    engine: Optional[str] = None,
 ) -> SliceBruteForceResult:
     """What an attacker WITH an oracle could do to one small slice.
 
@@ -184,7 +200,7 @@ def brute_force_slice_with_oracle(
     design = component.design
     config = design.key_config
     correct = component.correct_working_key
-    oracle = run_testbench(design, bench, working_key=correct)
+    oracle = run_testbench(design, bench, working_key=correct, engine=engine)
     cap = max(8 * oracle.cycles, 4000)
 
     if which == "branch":
@@ -203,7 +219,9 @@ def brute_force_slice_with_oracle(
     consistent = []
     for candidate in range(1 << width):
         probe = (correct & ~mask) | (candidate << offset)
-        outcome = run_testbench(design, bench, working_key=probe, max_cycles=cap)
+        outcome = run_testbench(
+            design, bench, working_key=probe, max_cycles=cap, engine=engine
+        )
         if outcome.simulated_bits == oracle.simulated_bits and outcome.matches:
             consistent.append(candidate)
     true_value = (correct & mask) >> offset

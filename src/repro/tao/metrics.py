@@ -123,12 +123,15 @@ def run_key_trial(
     benches: Sequence[Testbench],
     key: LockingKey,
     cycle_cap: int,
+    engine: Optional[str] = None,
 ) -> KeyTrialResult:
     """Simulate one locking key over all workloads.
 
     A pure function of ``(component, benches, key, cycle_cap)`` — the
     unit the campaign engine parallelizes.  The golden reference comes
-    from the process-wide cache inside :func:`run_testbench`.
+    from the process-wide cache inside :func:`run_testbench`; the FSMD
+    engine (``engine``: compiled default / interp reference) changes
+    wall time only, never the trial result.
     """
     working = component.working_key_for(key)
     matches_all = True
@@ -137,7 +140,11 @@ def run_key_trial(
     cycles = 0
     for bench in benches:
         outcome = run_testbench(
-            component.design, bench, working_key=working, max_cycles=cycle_cap
+            component.design,
+            bench,
+            working_key=working,
+            max_cycles=cycle_cap,
+            engine=engine,
         )
         matches_all &= outcome.matches
         completed_all &= outcome.simulated.completed
@@ -173,12 +180,12 @@ def _key_trial_worker(shared, key_bits: int):
         stats_delta,
     )
 
-    component, benches, cycle_cap, width, cache_dir = shared
+    component, benches, cycle_cap, width, cache_dir, engine = shared
     if cache_dir is not None and cache_dir != active_cache_dir():
         configure_disk_cache(cache_dir)
     stats_before = cache_stats()
     key = LockingKey(bits=key_bits, width=width)
-    trial = run_key_trial(component, benches, key, cycle_cap)
+    trial = run_key_trial(component, benches, key, cycle_cap, engine=engine)
     return trial, stats_delta(stats_before, cache_stats())
 
 
@@ -230,6 +237,7 @@ def validate_component(
     seed: int = 7,
     max_cycles: int | None = None,
     jobs: int = 1,
+    engine: Optional[str] = None,
 ) -> ValidationReport:
     """Run the §4.3 campaign: one correct key + ``n_keys - 1`` wrong keys.
 
@@ -245,6 +253,15 @@ def validate_component(
     so the report is identical to a serial run, and the workers' cache
     counters are folded back into this process so telemetry counts
     every trial.
+
+    ``engine`` selects the FSMD engine for every trial (compiled
+    default / interp reference — the report is engine-independent).
+    Under the compiled engine the design is lowered exactly once per
+    process (:func:`repro.sim.compiled.compiled_for` memoizes on the
+    design object) and every key trial reuses the plan via a cheap
+    ``bind_key``; nested pool workers each receive the component once
+    through the pool initializer, so they too compile once and share
+    the plan across all their trials.
     """
     if n_keys < 2:
         raise ValueError(
@@ -261,7 +278,7 @@ def validate_component(
     wrong_keys = generate_wrong_keys(correct, n_keys - 1, rng)
 
     correct_trial = run_key_trial(
-        component, benches, correct, _cycle_cap(0, max_cycles)
+        component, benches, correct, _cycle_cap(0, max_cycles), engine=engine
     )
     baseline_cycles = correct_trial.cycles
     cap = _cycle_cap(baseline_cycles, max_cycles)
@@ -273,7 +290,14 @@ def validate_component(
         outcomes = parallel_map(
             _key_trial_worker,
             [key.bits for key in wrong_keys],
-            shared=(component, benches, cap, correct.width, active_cache_dir()),
+            shared=(
+                component,
+                benches,
+                cap,
+                correct.width,
+                active_cache_dir(),
+                engine,
+            ),
             jobs=jobs,
             chunksize=max(1, len(wrong_keys) // (4 * jobs)),
         )
@@ -285,7 +309,8 @@ def validate_component(
             absorb_stats(delta)
     else:
         wrong_trials = [
-            run_key_trial(component, benches, key, cap) for key in wrong_keys
+            run_key_trial(component, benches, key, cap, engine=engine)
+            for key in wrong_keys
         ]
     return build_report(component.design.name, [correct_trial, *wrong_trials])
 
@@ -295,13 +320,18 @@ def output_corruptibility(
     bench: Testbench,
     wrong_keys: Sequence[LockingKey],
     max_cycles: int = 400_000,
+    engine: Optional[str] = None,
 ) -> float:
     """Average output Hamming fraction over the given wrong keys."""
     total = 0.0
     for key in wrong_keys:
         working = component.working_key_for(key)
         outcome = run_testbench(
-            component.design, bench, working_key=working, max_cycles=max_cycles
+            component.design,
+            bench,
+            working_key=working,
+            max_cycles=max_cycles,
+            engine=engine,
         )
         total += hamming_distance_fraction(
             outcome.golden_bits, outcome.simulated_bits

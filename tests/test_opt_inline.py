@@ -153,3 +153,46 @@ class TestInlining:
         module.add_function(func)
         with pytest.raises(ValueError, match="recursive"):
             inline_module(module)
+
+
+class TestCloneNameDeterminism:
+    """Clone ids derive from the module, not a process-global counter.
+
+    A global counter made inlined block names depend on what else was
+    compiled earlier in the process — and since the DFG-variant pass
+    seeds its decoy RNG from block names, obfuscated designs (and
+    campaign JSON) silently depended on the process layout.
+    """
+
+    CALLER = (
+        "int helper(int x) { return x + 1; }\n"
+        "int top(int a) { return helper(a) + helper(a + 2); }\n"
+    )
+    OTHER = (
+        "int h2(int x) { return x - 1; }\n"
+        "int t2(int a) { return h2(h2(h2(a))); }\n"
+    )
+
+    def _inlined_names(self):
+        module = compile_c(self.CALLER)
+        inline_module(module)
+        func = module.function("top")
+        return list(func.blocks), list(func.arrays)
+
+    def test_names_independent_of_prior_inlining(self):
+        first = self._inlined_names()
+        # Shift what a process-global counter would count.
+        for _ in range(3):
+            other = compile_c(self.OTHER)
+            inline_module(other)
+        assert self._inlined_names() == first
+        assert any(".inl0" in name for name in first[0])
+
+    def test_reinlining_does_not_collide(self):
+        module = compile_c(self.CALLER)
+        inline_module(module)
+        names = set(module.function("top").blocks)
+        # A second pass over the already-inlined module finds no calls
+        # and must not disturb (or collide with) the existing clones.
+        assert not inline_module(module)
+        assert set(module.function("top").blocks) == names
