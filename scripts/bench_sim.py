@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
-"""BENCH trajectory: FSMD key-validation throughput, interp vs compiled.
+"""BENCH trajectory: FSMD key-validation throughput across the
+three-tier engine stack (interp / compiled / codegen).
 
-Times the §4.3 key-validation cell (default: sobel, 20 keys, one
-workload) under both simulation engines, each in a **fresh
-subprocess** so neither run benefits from the other's in-process
-caches (compiled plans, golden L1).  Inside each child the golden
-software model is interpreted and cached *before* the clock starts, so
-the timed region is pure engine work: the compiled child pays its
-one-off design lowering plus 20 cheap ``bind_key`` trials, the
-interpreter child pays per-cycle dispatch on every trial.
+Times the §4.3 key-validation cell (default: sobel and viterbi, 20
+keys, one workload) under every simulation engine, each
+``(benchmark, engine)`` pair in a **fresh subprocess** so no run
+benefits from another's in-process caches (compiled plans, generated
+code, golden L1).  Inside each child the golden software model is
+interpreted and cached *before* the clock starts, so the timed region
+is pure engine work: the compiled child pays its one-off closure
+lowering plus cheap per-key ``bind_key`` trials, the codegen child
+pays one source generation + ``exec`` and then sweeps the whole key
+batch through lane-vectorized storage, and the interpreter child pays
+per-cycle dispatch on every trial.  Each child repeats the timed
+campaign (``--repeat``, default 3) and reports the **median** wall
+time: the first repetition carries the fast tiers' one-off lowering
+(closure compilation, or source generation + ``exec``), so with three
+or more repetitions the median reports steady-state throughput while
+damping scheduler noise out of the recorded speedups.
 
-Writes a ``BENCH_sim.json`` document with, per engine, the wall time,
-trials/second and simulated cycles/second, plus the speedup and
-whether both engines produced field-identical validation reports
-(the determinism contract — the run fails when they differ, so the CI
-bench step doubles as a parity gate).  ``--min-speedup`` optionally
-fails the run when the compiled engine undershoots a floor.
+Writes a ``BENCH_sim.json`` document with one block per benchmark:
+per-engine wall time, trials/second and simulated cycles/second, the
+speedups over the interpreter baseline (``speedup_compiled``,
+``speedup_codegen``) and between the fast tiers
+(``codegen_over_compiled``), and whether all engines produced
+field-identical validation reports (``reports_identical`` — the
+determinism contract; the run fails when any engine diverges, so the
+CI bench step doubles as a parity gate).  ``--min-speedup`` optionally
+fails the run when a floor is undershot on the first benchmark.
 """
 
 from __future__ import annotations
@@ -24,6 +36,7 @@ import argparse
 import hashlib
 import json
 import os
+import statistics
 import subprocess
 import sys
 import time
@@ -31,17 +44,20 @@ from pathlib import Path
 
 SRC_DIR = Path(__file__).resolve().parent.parent / "src"
 
+ENGINES = ("interp", "compiled", "codegen")
 
-def run_child(engine: str, args: argparse.Namespace) -> dict:
+
+def run_child(benchmark: str, engine: str, args: argparse.Namespace) -> dict:
     argv = [
         sys.executable,
         str(Path(__file__).resolve()),
         "--child",
         "--engine", engine,
-        "--benchmark", args.benchmark,
+        "--benchmark", benchmark,
         "--keys", str(args.keys),
         "--workloads", str(args.workloads),
         "--seed", str(args.seed),
+        "--repeat", str(args.repeat),
     ]
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -58,13 +74,14 @@ def run_child(engine: str, args: argparse.Namespace) -> dict:
 
 def child_main(args: argparse.Namespace) -> int:
     from repro.benchsuite import get_benchmark
+    from repro.runtime.cache import GOLDEN_CACHE
     from repro.runtime.results import report_to_dict
     from repro.sim.testbench import default_observed_arrays
-    from repro.runtime.cache import GOLDEN_CACHE
     from repro.tao.flow import TaoFlow
     from repro.tao.metrics import validate_component
 
-    bench = get_benchmark(args.benchmark)
+    benchmark = args.benchmark[0]  # --benchmark appends; a child gets one
+    bench = get_benchmark(benchmark)
     component = TaoFlow(pipeline="full").obfuscate(bench.source, bench.top)
     workloads = bench.make_testbenches(seed=args.seed, count=args.workloads)
     # Warm the golden model outside the timed region: its one-off
@@ -75,51 +92,85 @@ def child_main(args: argparse.Namespace) -> int:
     for workload in workloads:
         GOLDEN_CACHE.golden_for(design, workload, observed)
 
-    started = time.perf_counter()
-    report = validate_component(
-        component,
-        workloads,
-        n_keys=args.keys,
-        seed=args.seed,
-        jobs=1,
-        engine=args.engine,
-    )
-    elapsed = time.perf_counter() - started
-
-    trials = report.n_keys
-    cycles = sum(trial.cycles for trial in report.trials)
-    report_json = json.dumps(report_to_dict(report), sort_keys=True)
+    seconds: list[float] = []
+    report_hashes: set[str] = set()
+    trials = 0
+    cycles = 0
+    for _ in range(max(1, args.repeat)):
+        started = time.perf_counter()
+        report = validate_component(
+            component,
+            workloads,
+            n_keys=args.keys,
+            seed=args.seed,
+            jobs=1,
+            engine=args.engine,
+        )
+        seconds.append(time.perf_counter() - started)
+        trials = report.n_keys
+        cycles = sum(trial.cycles for trial in report.trials)
+        report_json = json.dumps(report_to_dict(report), sort_keys=True)
+        report_hashes.add(
+            hashlib.sha256(report_json.encode("utf-8")).hexdigest()
+        )
+    assert len(report_hashes) == 1, "repetitions diverged"
+    median = statistics.median(seconds)
     print(
         json.dumps(
             {
                 "engine": args.engine,
-                "seconds": round(elapsed, 4),
+                "seconds": round(median, 4),
+                "seconds_all": [round(s, 4) for s in seconds],
                 "trials": trials,
                 "simulated_cycles": cycles,
-                "trials_per_second": round(trials / elapsed, 2),
-                "cycles_per_second": round(cycles / elapsed, 1),
-                "report_sha256": hashlib.sha256(
-                    report_json.encode("utf-8")
-                ).hexdigest(),
+                "trials_per_second": round(trials / median, 2),
+                "cycles_per_second": round(cycles / median, 1),
+                "report_sha256": report_hashes.pop(),
             }
         )
     )
     return 0
 
 
+def bench_one(benchmark: str, args: argparse.Namespace) -> dict:
+    engines = {
+        engine: run_child(benchmark, engine, args) for engine in ENGINES
+    }
+    interp_s = engines["interp"]["seconds"]
+
+    def speedup(engine: str, baseline: float) -> float | None:
+        seconds = engines[engine]["seconds"]
+        return round(baseline / seconds, 3) if seconds else None
+
+    hashes = {e: engines[e]["report_sha256"] for e in ENGINES}
+    return {
+        "engines": engines,
+        "speedup_compiled": speedup("compiled", interp_s),
+        "speedup_codegen": speedup("codegen", interp_s),
+        "codegen_over_compiled": speedup(
+            "codegen", engines["compiled"]["seconds"]
+        ),
+        "reports_identical": len(set(hashes.values())) == 1,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
     parser.add_argument("--engine", default=None, help=argparse.SUPPRESS)
-    parser.add_argument("--benchmark", default="sobel")
+    parser.add_argument("--benchmark", action="append", default=None,
+                        help="benchmark column(s); default sobel + viterbi")
     parser.add_argument("--keys", type=int, default=20)
     parser.add_argument("--workloads", type=int, default=1)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed repetitions per child; median recorded")
     parser.add_argument(
         "--min-speedup",
         type=float,
         default=None,
-        help="fail when compiled/interp speedup is below this floor",
+        help="fail when the first benchmark's compiled/interp speedup "
+        "is below this floor",
     )
     parser.add_argument(
         "-o", "--output", type=Path, default=Path("BENCH_sim.json")
@@ -128,36 +179,35 @@ def main(argv: list[str] | None = None) -> int:
     if args.child:
         return child_main(args)
 
-    interp = run_child("interp", args)
-    compiled = run_child("compiled", args)
-    speedup = (
-        interp["seconds"] / compiled["seconds"] if compiled["seconds"] else None
-    )
-    reports_identical = interp["report_sha256"] == compiled["report_sha256"]
+    benchmarks = args.benchmark or ["sobel", "viterbi"]
+    results = {name: bench_one(name, args) for name in benchmarks}
     document = {
         "bench": "sim_key_validation_throughput",
-        "benchmark": args.benchmark,
+        "benchmarks": results,
         "keys": args.keys,
         "workloads": args.workloads,
         "seed": args.seed,
-        "interp": interp,
-        "compiled": compiled,
-        "speedup": round(speedup, 3) if speedup else None,
-        "reports_identical": reports_identical,
+        "repeat": args.repeat,
+        "reports_identical": all(
+            r["reports_identical"] for r in results.values()
+        ),
     }
     args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(json.dumps(document, indent=2, sort_keys=True))
-    if not reports_identical:
+    if not document["reports_identical"]:
         print(
             "FAIL: engines produced different validation reports",
             file=sys.stderr,
         )
         return 1
+    first = results[benchmarks[0]]
     if args.min_speedup is not None and (
-        speedup is None or speedup < args.min_speedup
+        first["speedup_compiled"] is None
+        or first["speedup_compiled"] < args.min_speedup
     ):
         print(
-            f"FAIL: speedup {speedup} below floor {args.min_speedup}",
+            f"FAIL: speedup {first['speedup_compiled']} below floor "
+            f"{args.min_speedup}",
             file=sys.stderr,
         )
         return 1

@@ -403,23 +403,32 @@ def build_parser() -> argparse.ArgumentParser:
             "  REPRO_CACHE_DIR   default --cache-dir: a persistent,\n"
             "                    content-addressed cache shared across\n"
             "                    processes and runs\n"
-            "  REPRO_SIM_ENGINE  default --engine (compiled | interp)\n"
+            "  REPRO_SIM_ENGINE  default --engine\n"
+            "                    (compiled | interp | codegen)\n"
             "\n"
             "simulation engines (--engine / REPRO_SIM_ENGINE):\n"
-            "  'compiled' (default) lowers each FSMD design once into a\n"
-            "  slot-indexed execution plan (repro.sim.compiled): operand\n"
-            "  readers, opcode dispatch, per-state op lists and controller\n"
-            "  transitions are resolved at compile time, and the plan is\n"
-            "  specialized per key by a cheap bind_key step — one\n"
-            "  compilation serves every key trial of a campaign (workers\n"
-            "  included; each process compiles once per design).\n"
+            "  The execution stack is a three-tier seam (repro.sim):\n"
             "  'interp' is the reference interpreter, kept as the oracle\n"
-            "  for differential tests.  Determinism contract: both\n"
-            "  engines produce field-identical simulation results, so\n"
-            "  campaign JSON is byte-identical regardless of engine (the\n"
+            "  for differential tests.  'compiled' (default) lowers each\n"
+            "  FSMD design once into a slot-indexed closure plan\n"
+            "  (repro.sim.compiled): operand readers, opcode dispatch,\n"
+            "  per-state op lists and controller transitions are resolved\n"
+            "  at compile time, and the plan is specialized per key by a\n"
+            "  cheap bind_key step — one compilation serves every key\n"
+            "  trial of a campaign.  'codegen' (repro.sim.codegen) goes\n"
+            "  one tier further: it exec()-generates straight-line Python\n"
+            "  for the whole FSM and vectorizes registers/memories into\n"
+            "  lane-indexed storage, so a single bind_keys(keys) call\n"
+            "  specializes the plan for a whole key batch and the\n"
+            "  generated sweep retires lanes independently (campaign\n"
+            "  workers receive key batches, not single keys, on this\n"
+            "  path).  Determinism contract: all three engines produce\n"
+            "  field-identical simulation results, so campaign JSON is\n"
+            "  byte-identical regardless of engine or batch layout (the\n"
             "  engine, like --jobs, never enters the serialized spec);\n"
-            "  CI gates on scripts/check_engine_parity.py and\n"
-            "  scripts/bench_sim.py tracks the throughput gap.\n"
+            "  CI gates on scripts/check_engine_parity.py across all\n"
+            "  three tiers and scripts/bench_sim.py tracks the\n"
+            "  throughput gaps.\n"
             "\n"
             "pipelines (--pipeline, repeatable -> fifth sweep axis):\n"
             "  The obfuscation flow is a pipeline of registered stages\n"

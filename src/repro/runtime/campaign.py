@@ -21,7 +21,11 @@ into an explicit multi-axis engine:
   the unified ``repro.campaign/3`` JSON document (per-unit pipeline
   label and deterministic per-stage ``StageReport`` blocks);
 * :func:`parallel_map` is the shared fan-out primitive (also used by
-  ``repro.tao.metrics.validate_component`` for key-level parallelism).
+  ``repro.tao.metrics.validate_component`` for key-level parallelism)
+  and :func:`key_batches` the shared batching contract: workers are
+  handed contiguous *batches* of keys (not single keys), so the
+  codegen engine can bind and sweep each batch in one pass while
+  batch boundaries stay deterministic.
 
 Determinism contract: every unit's seed is *derived* (SHA-256 of the
 base seed and the unit's axis labels), each worker rebuilds its
@@ -199,6 +203,27 @@ def _invoke_worker(item: Any) -> Any:
     return _WORKER_FN(_WORKER_SHARED, item)
 
 
+def key_batches(
+    items: Iterable[_T], jobs: int, max_lanes: int = 64
+) -> list[list[_T]]:
+    """Split ``items`` into deterministic contiguous batches.
+
+    The batching contract of the key-trial fan-out: at least ``jobs``
+    batches (so every worker gets work), no batch larger than
+    ``max_lanes`` (bounding per-batch lane storage), and batch
+    boundaries that depend only on ``(len(items), jobs, max_lanes)`` —
+    never on scheduling — so a batched campaign's results and order
+    are identical to a scalar one's.  Concatenating the batches always
+    reproduces ``items`` exactly.
+    """
+    items = list(items)
+    if not items:
+        return []
+    n_batches = min(len(items), max(jobs, -(-len(items) // max_lanes)))
+    size = -(-len(items) // n_batches)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
 def parallel_map(
     fn: Callable[[Any, _T], Any],
     items: Iterable[_T],
@@ -247,9 +272,12 @@ class CampaignSpec:
     are execution knobs only: they are deliberately excluded from the
     serialized spec so parallel-vs-serial and compiled-vs-interpreted
     runs emit identical JSON.  ``engine`` selects the FSMD simulation
-    engine for every trial (``"compiled"`` / ``"interp"``; ``None``
-    defers to ``$REPRO_SIM_ENGINE``, default compiled) — see
-    :mod:`repro.sim.compiled` for the determinism contract.
+    engine for every trial (``"compiled"`` / ``"codegen"`` /
+    ``"interp"``; ``None`` defers to ``$REPRO_SIM_ENGINE``, default
+    compiled) — see :mod:`repro.sim.compiled` for the determinism
+    contract.  Trials flow through the batched key-trial path either
+    way (:func:`key_batches` chunks, one simulated lane per key); only
+    the codegen engine actually vectorizes a batch.
 
     ``extra_configs`` is normalized on construction (entries and their
     override items are sorted), so a spec rebuilt from ``to_dict()``

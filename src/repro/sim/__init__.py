@@ -1,8 +1,12 @@
-"""Simulation: golden IR interpreter, cycle-accurate FSMD simulator
-(reference interpreter + compiled execution engine) and testbench
-harness.  :func:`resolve_engine` picks the FSMD engine: explicit
-argument > ``$REPRO_SIM_ENGINE`` > ``"compiled"``."""
+"""Simulation: golden IR interpreter, the three-tier cycle-accurate
+FSMD engine stack (``interp`` reference interpreter, ``compiled``
+closure plans, ``codegen`` generated + key-batched source) and the
+testbench harness.  :func:`resolve_engine` picks the FSMD engine:
+explicit argument > ``$REPRO_SIM_ENGINE`` > ``"compiled"``; batched
+trials enter through :func:`simulate_batch` /
+:func:`run_testbench_batch`."""
 
+from repro.sim.codegen import CodegenDesign, codegen_for
 from repro.sim.compiled import (
     DEFAULT_ENGINE,
     ENGINE_ENV,
@@ -11,7 +15,13 @@ from repro.sim.compiled import (
     compiled_for,
     resolve_engine,
 )
-from repro.sim.fsmd_sim import FsmdSimulator, SimulationError, SimulationResult, simulate
+from repro.sim.fsmd_sim import (
+    FsmdSimulator,
+    SimulationError,
+    SimulationResult,
+    simulate,
+    simulate_batch,
+)
 from repro.sim.interpreter import (
     ExecutionResult,
     Interpreter,
@@ -25,12 +35,14 @@ from repro.sim.testbench import (
     hamming_distance_fraction,
     output_bit_vector,
     run_testbench,
+    run_testbench_batch,
 )
 
 __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_ENV",
     "ENGINES",
+    "CodegenDesign",
     "CompiledDesign",
     "ExecutionResult",
     "FsmdSimulator",
@@ -40,6 +52,7 @@ __all__ = [
     "SimulationResult",
     "Testbench",
     "TestbenchOutcome",
+    "codegen_for",
     "compiled_for",
     "default_observed_arrays",
     "hamming_distance_fraction",
@@ -47,5 +60,7 @@ __all__ = [
     "resolve_engine",
     "run_function",
     "run_testbench",
+    "run_testbench_batch",
     "simulate",
+    "simulate_batch",
 ]

@@ -8,7 +8,10 @@ validation campaign pays that cost once per cycle per key — thousands
 of times over for work whose answer never changes.
 
 :class:`CompiledDesign` lowers a bound :class:`~repro.hls.design.
-FsmdDesign` **once** into a flat execution plan:
+FsmdDesign` **once** into a flat execution plan (the design analysis —
+slot assignment, wrap elision, state indexing, transitions, variant
+tables — lives in the shared :class:`repro.sim.layout.DesignLayout`,
+which the codegen tier consumes too):
 
 * registers become a ``list[int]`` with slot indices precomputed per
   value, and memories a ``list[list[int]]`` with slot indices
@@ -27,13 +30,19 @@ variant selections and branch key bits — live in small mutable cells
 that :meth:`CompiledDesign.bind_key` fills per working key, so one
 compilation serves every key of a campaign.
 
+This is the middle tier of the three-tier engine architecture:
+``interp`` (the reference oracle) < ``compiled`` (this module: one
+closure call per op per cycle) < ``codegen``
+(:mod:`repro.sim.codegen`: one exec()-generated straight-line step
+function per state, lane-vectorized across a whole key batch).
+
 Determinism contract: for any design, arguments, arrays, key and cycle
-budget, the compiled engine's :class:`~repro.sim.fsmd_sim.
-SimulationResult` is **field-identical** to the interpreter's (return
-value, arrays, cycle count, completed flag and — when tracing — the
-state trace).  ``tests/test_sim_compiled.py`` asserts this
-differentially over every benchmark, preset pipeline and key class;
-the interpreter remains the oracle.
+budget, every engine's :class:`~repro.sim.fsmd_sim.SimulationResult`
+is **field-identical** to the interpreter's (return value, arrays,
+cycle count, completed flag and — when tracing — the state trace).
+``tests/test_sim_compiled.py`` asserts this differentially over every
+benchmark, preset pipeline and key class; the interpreter remains the
+oracle.
 
 Engine seam: :func:`resolve_engine` picks the engine for
 ``simulate``/``run_testbench`` — an explicit ``engine`` argument wins,
@@ -47,11 +56,8 @@ code).
 from __future__ import annotations
 
 import os
-import weakref
-from collections import OrderedDict
 from typing import Callable, Optional, Sequence
 
-from repro.hls.controller import StateId
 from repro.hls.design import FsmdDesign, VariantOp
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.types import IntType
@@ -61,35 +67,37 @@ from repro.sim.fsmd_sim import (
     SimulationResult,
     zero_size_memory_error,
 )
+from repro.sim.layout import DesignLayout, PlanCache
+from repro.sim.layout import COND as _COND
+from repro.sim.layout import design_fingerprint as _design_fingerprint  # noqa: F401 (re-export for back-compat)
+from repro.sim.layout import wrap_fn as _wrap_fn
 
 #: Environment variable selecting the default simulation engine.
 ENGINE_ENV = "REPRO_SIM_ENGINE"
-#: Known engines: the compiled plan and the reference interpreter.
-ENGINES = ("compiled", "interp")
+#: Known engines, fastest-tier last: the closure-compiled plan (the
+#: default), the reference interpreter (the differential oracle), and
+#: the exec()-generated, key-batched codegen tier.
+ENGINES = ("compiled", "interp", "codegen")
 DEFAULT_ENGINE = "compiled"
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
     """The engine to run: explicit choice > ``$REPRO_SIM_ENGINE`` > default."""
-    choice = engine or os.environ.get(ENGINE_ENV) or DEFAULT_ENGINE
+    if engine:
+        choice, source = engine, "engine argument"
+    elif os.environ.get(ENGINE_ENV):
+        choice, source = os.environ[ENGINE_ENV], f"${ENGINE_ENV}"
+    else:
+        choice, source = DEFAULT_ENGINE, "default"
     if choice not in ENGINES:
         raise ValueError(
-            f"unknown simulation engine {choice!r}; available: "
-            f"{', '.join(ENGINES)}"
+            f"unknown simulation engine {choice!r} (from {source}); "
+            f"available: {', '.join(ENGINES)}"
         )
     return choice
 
 
 _Reader = Callable[[list], int]
-
-
-def _wrap_fn(type_: IntType) -> Callable[[int], int]:
-    """A closure computing ``type_.wrap`` without attribute lookups."""
-    mask = (1 << type_.width) - 1
-    if not type_.signed:
-        return lambda v: v & mask
-    sign = 1 << (type_.width - 1)
-    return lambda v: ((v + sign) & mask) - sign
 
 
 def _arith_fn(
@@ -167,6 +175,20 @@ def _arith_fn(
     return None
 
 
+def _op_fields(op) -> tuple:
+    """``(opcode, result, operands, array_name)`` of a scheduled op or
+    a DFG :class:`VariantOp` — the two shapes the fast tiers execute."""
+    if isinstance(op, Instruction):
+        return (
+            op.opcode,
+            op.result,
+            list(op.operands),
+            op.array.name if op.array is not None else None,
+        )
+    assert isinstance(op, VariantOp)
+    return op.opcode, op.result, list(op.operands), op.array_name
+
+
 class CompiledDesign:
     """One FSMD design lowered into a slot-indexed execution plan.
 
@@ -180,24 +202,12 @@ class CompiledDesign:
 
     def __init__(self, design: FsmdDesign) -> None:
         self.design = design
-        binding = design.binding
-        # --- flat register file ------------------------------------
-        self._reg_slots: dict[str, int] = {
-            r.name: i for i, r in enumerate(binding.registers)
-        }
-        self._n_regs = len(binding.registers)
-        # --- flat memories -----------------------------------------
-        self._mem_slots: dict[str, int] = {}
-        self._mem_names: list[str] = []
-        self._memory_specs: list[tuple] = []
-        for name, memory_binding in binding.memories.items():
-            self._mem_slots[name] = len(self._mem_names)
-            self._mem_names.append(name)
-            array = memory_binding.array
-            rom = design.obfuscated_roms.get(name)
-            self._memory_specs.append(
-                (name, array, rom, _wrap_fn(array.element_type))
-            )
+        layout = self.layout = DesignLayout(design)
+        self._reg_slots = layout.reg_slots
+        self._n_regs = layout.n_regs
+        self._mem_slots = layout.mem_slots
+        self._mem_names = layout.mem_names
+        self._memory_specs = layout.memory_specs
         # --- key-dependent cells (filled by bind_key) --------------
         self._kconst_cells: dict[ObfuscatedConstant, list[int]] = {}
         self._rom_cells: dict[str, list[int]] = {}
@@ -205,83 +215,28 @@ class CompiledDesign:
         self._kb_binds: list[tuple[int, list[int]]] = []
         self._variant_binds: list[tuple] = []
         self._bound_key: Optional[int] = None
-        # --- wrap elision: registers written by exactly one type can
-        # be read back without re-wrapping (values are stored wrapped).
-        self._slot_write_types = self._collect_write_types()
-        # --- scalar-argument latches -------------------------------
-        scalar_params = design.func.scalar_params()
-        self._n_scalar_params = len(scalar_params)
-        self._param_latches: list[Optional[tuple[int, Callable]]] = []
-        for param in scalar_params:
-            register = binding.register_of.get(param)
-            if register is None:
-                self._param_latches.append(None)
-            else:
-                assert isinstance(param.type, IntType)
-                self._param_latches.append(
-                    (self._reg_slots[register.name], param.type.wrap)
-                )
+        self._n_scalar_params = layout.n_scalar_params
+        self._param_latches = layout.param_latches
         # --- states, ops and transitions ---------------------------
-        states = design.controller.states
-        self._idx_of: dict[StateId, int] = {s: i for i, s in enumerate(states)}
-        self._state_names = [str(s) for s in states]
-        self._done: list[bool] = []
+        self._state_names = layout.state_names
+        self._done = layout.done
         self._trans: list[tuple] = []
-        self._state_ops: list[list] = [[] for _ in states]
-        for idx, state in enumerate(states):
-            if state.block not in design.block_variants:
-                block_schedule = design.schedule.blocks[state.block]
-                self._state_ops[idx] = self._compile_ops(
-                    block_schedule.instructions_at(state.step)
-                )
-            self._compile_transition(state)
-        for block_name, variants in design.block_variants.items():
-            tables: list[tuple[int, dict[int, list]]] = []
-            for state, idx in self._idx_of.items():
-                if state.block != block_name:
-                    continue
-                per_selector = {
-                    selector: self._compile_ops(
-                        [op for op in ops if op.cstep == state.step]
-                    )
-                    for selector, ops in variants.variants.items()
-                }
-                tables.append((idx, per_selector))
-            self._variant_binds.append((variants, tables))
-        entry = design.controller.entry_state
-        assert entry is not None
-        self._entry_idx = self._idx_of[entry]
+        self._state_ops: list[list] = [[] for _ in layout.states]
+        for idx, ops in enumerate(layout.state_op_lists):
+            if ops is not None:
+                self._state_ops[idx] = self._compile_ops(ops)
+            self._compile_transition(layout.transition_specs[idx])
+        for variants, tables in layout.variant_tables:
+            compiled_tables = [
+                (idx, {sel: self._compile_ops(ops) for sel, ops in per_selector.items()})
+                for idx, per_selector in tables
+            ]
+            self._variant_binds.append((variants, compiled_tables))
+        self._entry_idx = layout.entry_idx
 
     # ------------------------------------------------------------------
     # Compilation helpers
     # ------------------------------------------------------------------
-    def _collect_write_types(self) -> dict[int, set[IntType]]:
-        """Every IntType stored into each register slot (any path)."""
-        design = self.design
-        written: dict[int, set[IntType]] = {}
-
-        def note(result: Optional[Value]) -> None:
-            if result is None:
-                return
-            register = design.binding.register_of.get(result)
-            if register is None:
-                return
-            if isinstance(result.type, IntType):
-                written.setdefault(
-                    self._reg_slots[register.name], set()
-                ).add(result.type)
-
-        for param in design.func.scalar_params():
-            note(param)
-        for block_schedule in design.schedule.blocks.values():
-            for inst in block_schedule.block.instructions:
-                note(inst.result)
-        for variants in design.block_variants.values():
-            for ops in variants.variants.values():
-                for op in ops:
-                    note(op.result)
-        return written
-
     def _reader(self, value: Value) -> _Reader:
         """Compile one operand read against the flat register file."""
         if isinstance(value, ObfuscatedConstant):
@@ -294,10 +249,7 @@ class CompiledDesign:
             raise SimulationError(f"value {value} has no bound register")
         slot = self._reg_slots[register.name]
         assert isinstance(value.type, IntType)
-        # Registers only ever hold values wrapped at write time; when
-        # every writer shares this reader's type the stored value is
-        # already in range and the read-side wrap is the identity.
-        if self._slot_write_types.get(slot) == {value.type}:
+        if self.layout.elidable_read(slot, value.type):
             return lambda regs, _s=slot: regs[_s]
         wrap = _wrap_fn(value.type)
         return lambda regs, _s=slot, _w=wrap: _w(regs[_s])
@@ -323,17 +275,7 @@ class CompiledDesign:
         return [ex for ex in compiled if ex is not None]
 
     def _compile_op(self, op) -> Optional[Callable]:
-        if isinstance(op, Instruction):
-            opcode = op.opcode
-            result = op.result
-            operands = list(op.operands)
-            array_name = op.array.name if op.array is not None else None
-        else:
-            assert isinstance(op, VariantOp)
-            opcode = op.opcode
-            result = op.result
-            operands = list(op.operands)
-            array_name = op.array_name
+        opcode, result, operands, array_name = _op_fields(op)
 
         if opcode in (Opcode.JUMP, Opcode.BRANCH):
             return None  # handled by the compiled transitions
@@ -461,32 +403,16 @@ class CompiledDesign:
 
         return ex_binary
 
-    def _compile_transition(self, state: StateId) -> None:
-        transition = self.design.controller.transitions[state]
-        self._done.append(transition.is_done)
-        if transition.condition is not None:
-            reader = self._reader(transition.condition)
+    def _compile_transition(self, spec: tuple) -> None:
+        if spec[0] == _COND:
+            _, condition, key_bit, true_idx, false_idx = spec
+            reader = self._reader(condition)
             key_bit_cell = [0]
-            if transition.key_bit is not None:
-                self._kb_binds.append((transition.key_bit, key_bit_cell))
-            true_idx = (
-                self._idx_of[transition.true_state]
-                if transition.true_state is not None
-                else None
-            )
-            false_idx = (
-                self._idx_of[transition.false_state]
-                if transition.false_state is not None
-                else None
-            )
+            if key_bit is not None:
+                self._kb_binds.append((key_bit, key_bit_cell))
             self._trans.append((1, reader, key_bit_cell, true_idx, false_idx))
         else:
-            next_idx = (
-                self._idx_of[transition.next_state]
-                if transition.next_state is not None
-                else None
-            )
-            self._trans.append((0, next_idx))
+            self._trans.append((0, spec[1]))
 
     # ------------------------------------------------------------------
     # Per-key specialization
@@ -516,32 +442,6 @@ class CompiledDesign:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _initial_memories(
-        self, arrays: Optional[dict[str, list[int]]]
-    ) -> tuple[list[list[int]], dict[str, list[int]]]:
-        """Slot-indexed memory images plus the name-keyed view of them.
-
-        Both structures share the same lists, so the dict (returned in
-        ``SimulationResult.arrays``) reflects every committed store.
-        """
-        mems: list[list[int]] = []
-        by_name: dict[str, list[int]] = {}
-        for name, array, rom, element_wrap in self._memory_specs:
-            if rom is not None:
-                memory = list(rom.encrypted_image)
-            elif arrays is not None and array.name in arrays:
-                provided = list(arrays[array.name])
-                if len(provided) < array.size:
-                    provided += [0] * (array.size - len(provided))
-                memory = [element_wrap(v) for v in provided[: array.size]]
-            elif array.initializer is not None:
-                memory = [element_wrap(v) for v in array.initializer]
-            else:
-                memory = [0] * array.size
-            mems.append(memory)
-            by_name[name] = memory
-        return mems, by_name
-
     def run(
         self,
         args: Sequence[int] = (),
@@ -561,7 +461,7 @@ class CompiledDesign:
             if latch is not None:
                 slot, wrap = latch
                 regs[slot] = wrap(arg)
-        mems, arrays_by_name = self._initial_memories(arrays)
+        mems, arrays_by_name = self.layout.initial_memories(arrays)
 
         state_ops = self._state_ops
         transitions = self._trans
@@ -629,69 +529,16 @@ class CompiledDesign:
 # ----------------------------------------------------------------------
 # Compile-once cache
 # ----------------------------------------------------------------------
-def _design_fingerprint(design: FsmdDesign) -> tuple:
-    """Cheap invalidation key over the mutable obfuscation metadata.
-
-    Every TAO pass grows one of these collections (or the key config),
-    so obfuscating a design in place after a baseline simulation
-    rotates the fingerprint and forces a recompile.  Mutating the
-    schedule or binding of an already-simulated design in place is not
-    detected — build a fresh design (as every repo flow does) instead.
-    """
-    return (
-        len(design.obfuscated_constants),
-        len(design.masked_branches),
-        len(design.block_variants),
-        len(design.obfuscated_roms),
-        len(design.controller.transitions),
-        design.key_config.working_key_bits,
-        design.key_config.correct_working_key,
-    )
-
-
-_COMPILE_CACHE: OrderedDict[int, tuple[weakref.ref, tuple, CompiledDesign]] = (
-    OrderedDict()
-)
-#: A cached plan keeps its design alive (the plan's closures reference
-#: design values), so the cache is a small LRU rather than unbounded:
-#: campaigns touch one design per unit and attack sweeps a handful, so
-#: a few slots cover the access pattern while bounding memory in
-#: long-lived processes that churn through many designs.
+#: See :class:`repro.sim.layout.PlanCache` for the eviction contract.
 _COMPILE_CACHE_LIMIT = 8
+_COMPILE_CACHE = PlanCache(CompiledDesign, limit=_COMPILE_CACHE_LIMIT)
 
 
 def compiled_for(design: FsmdDesign) -> CompiledDesign:
     """The (memoized) compiled plan for ``design``.
 
     Keyed on object identity and validated against
-    :func:`_design_fingerprint`.  The cache holds at most
-    :data:`_COMPILE_CACHE_LIMIT` recent plans (each pins its design
-    until evicted); entries for designs that die early are evicted by
-    the weakref callback, so a recycled ``id()`` can never resurrect a
-    stale plan.
+    :func:`repro.sim.layout.design_fingerprint`; the cache holds at
+    most :data:`_COMPILE_CACHE_LIMIT` recent plans.
     """
-    key = id(design)
-    entry = _COMPILE_CACHE.get(key)
-    if entry is not None:
-        ref, fingerprint, compiled = entry
-        if ref() is design and fingerprint == _design_fingerprint(design):
-            _COMPILE_CACHE.move_to_end(key)
-            return compiled
-    compiled = CompiledDesign(design)
-
-    # The cache dict is captured as a default so the callback still
-    # works during interpreter shutdown, when module globals are None.
-    def _evict(
-        _ref: weakref.ref, _key: int = key, _cache: dict = _COMPILE_CACHE
-    ) -> None:
-        _cache.pop(_key, None)
-
-    _COMPILE_CACHE[key] = (
-        weakref.ref(design, _evict),
-        _design_fingerprint(design),
-        compiled,
-    )
-    _COMPILE_CACHE.move_to_end(key)
-    while len(_COMPILE_CACHE) > _COMPILE_CACHE_LIMIT:
-        _COMPILE_CACHE.popitem(last=False)
-    return compiled
+    return _COMPILE_CACHE.plan_for(design)

@@ -331,15 +331,63 @@ def simulate(
 
     ``engine`` is ``"compiled"`` (the default: the design is lowered
     once by :mod:`repro.sim.compiled` and the plan is reused across
-    calls and keys) or ``"interp"`` (this module's reference
-    interpreter); ``None`` defers to ``$REPRO_SIM_ENGINE``.  Both
-    engines return field-identical :class:`SimulationResult`\\ s —
-    the differential tests assert it.
+    calls and keys), ``"codegen"`` (Python source generated per design
+    by :mod:`repro.sim.codegen`; here it runs a one-lane batch) or
+    ``"interp"`` (this module's reference interpreter); ``None`` defers
+    to ``$REPRO_SIM_ENGINE``.  All engines return field-identical
+    :class:`SimulationResult`\\ s — the differential tests assert it.
     """
     from repro.sim.compiled import compiled_for, resolve_engine
 
-    if resolve_engine(engine) == "compiled":
+    resolved = resolve_engine(engine)
+    if resolved == "compiled":
         return compiled_for(design).run(
             args, arrays=arrays, working_key=working_key, max_cycles=max_cycles
         )
+    if resolved == "codegen":
+        from repro.sim.codegen import codegen_for
+
+        return codegen_for(design).run(
+            args, arrays=arrays, working_key=working_key, max_cycles=max_cycles
+        )
     return FsmdSimulator(design, max_cycles=max_cycles).run(args, arrays, working_key)
+
+
+def simulate_batch(
+    design: FsmdDesign,
+    args: Sequence[int] = (),
+    arrays: Optional[dict[str, list[int]]] = None,
+    working_keys: Sequence[int] = (),
+    max_cycles: int = 2_000_000,
+    engine: Optional[str] = None,
+) -> list[SimulationResult]:
+    """Run one FSMD trial per working key; all lanes share the workload.
+
+    The batched counterpart of :func:`simulate` and the seam the
+    key-trial layers (:mod:`repro.tao.metrics`, :mod:`repro.tao.attacks`)
+    ride: under the ``codegen`` engine the whole batch is bound at once
+    (one :meth:`~repro.sim.codegen.CodegenDesign.bind_keys`) and swept
+    through lane-vectorized storage, while ``compiled`` and ``interp``
+    degrade to a scalar loop with identical results.  ``result[i]`` is
+    field-identical to ``simulate(..., working_key=working_keys[i])``
+    on every engine.
+    """
+    from repro.sim.compiled import resolve_engine
+
+    if resolve_engine(engine) == "codegen":
+        from repro.sim.codegen import codegen_for
+
+        return codegen_for(design).run_batch(
+            args, arrays=arrays, working_keys=working_keys, max_cycles=max_cycles
+        )
+    return [
+        simulate(
+            design,
+            args,
+            dict(arrays) if arrays else None,
+            working_key=key,
+            max_cycles=max_cycles,
+            engine=engine,
+        )
+        for key in working_keys
+    ]

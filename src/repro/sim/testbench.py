@@ -24,7 +24,7 @@ from repro.hls.design import FsmdDesign
 from repro.ir.function import Module
 from repro.ir.types import IntType
 from repro.runtime.cache import GOLDEN_CACHE, GoldenCache
-from repro.sim.fsmd_sim import SimulationResult, simulate
+from repro.sim.fsmd_sim import SimulationResult, simulate_batch
 from repro.sim.interpreter import ExecutionResult, Interpreter
 
 #: Default simulation cycle budget — effectively "uncapped" for the
@@ -121,9 +121,42 @@ def run_testbench(
     The golden interpretation is memoized (see module docstring);
     ``golden_cache=None`` disables the cache for this call.
     ``engine`` selects the FSMD engine (``"compiled"`` default,
-    ``"interp"`` reference; ``None`` defers to ``$REPRO_SIM_ENGINE``)
-    — the outcome is engine-independent by the determinism contract
-    of :mod:`repro.sim.compiled`.
+    ``"codegen"`` batched source generation, ``"interp"`` reference;
+    ``None`` defers to ``$REPRO_SIM_ENGINE``) — the outcome is
+    engine-independent by the determinism contract of
+    :mod:`repro.sim.compiled`.  A one-lane delegation to
+    :func:`run_testbench_batch`, so scalar and batched trials agree by
+    construction.
+    """
+    return run_testbench_batch(
+        design,
+        bench,
+        [working_key],
+        max_cycles=max_cycles,
+        golden_cache=golden_cache,
+        engine=engine,
+    )[0]
+
+
+def run_testbench_batch(
+    design: FsmdDesign,
+    bench: Testbench,
+    working_keys: Sequence[int],
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+    golden_cache: Union[GoldenCache, None, _DefaultCache] = _DEFAULT_CACHE,
+    engine: Optional[str] = None,
+) -> list[TestbenchOutcome]:
+    """Run one workload under a batch of working keys; compare each lane.
+
+    The golden reference is key-independent, so the batch needs it only
+    once — but with a cache attached the lookup is repeated per lane so
+    cache telemetry (hits per trial) stays identical to running the
+    same keys through scalar :func:`run_testbench` calls; with
+    ``golden_cache=None`` the interpreter runs once and every lane
+    shares the result.  Simulation goes through
+    :func:`repro.sim.fsmd_sim.simulate_batch` — one ``bind_keys`` +
+    sweep under the codegen engine, a scalar loop elsewhere —
+    returning one :class:`TestbenchOutcome` per key, in key order.
     """
     module = design.module
     func_name = design.func.name
@@ -139,27 +172,35 @@ def run_testbench(
         golden_bits = output_bit_vector(
             golden.return_value, golden.arrays, observed, module, func_name
         )
+        goldens = [(golden, golden_bits)] * len(working_keys)
     else:
-        golden, golden_bits = cache.golden_for(design, bench, observed)
-    simulated = simulate(
+        goldens = [
+            cache.golden_for(design, bench, observed) for _ in working_keys
+        ]
+    simulated_batch = simulate_batch(
         design,
         bench.args,
         dict(bench.arrays),
-        working_key=working_key,
+        working_keys=working_keys,
         max_cycles=max_cycles,
         engine=engine,
     )
-    simulated_bits = output_bit_vector(
-        simulated.return_value, simulated.arrays, observed, module, func_name
-    )
-    matches = simulated.completed and golden_bits == simulated_bits
-    return TestbenchOutcome(
-        golden=golden,
-        simulated=simulated,
-        matches=matches,
-        golden_bits=golden_bits,
-        simulated_bits=simulated_bits,
-    )
+    outcomes: list[TestbenchOutcome] = []
+    for (golden, golden_bits), simulated in zip(goldens, simulated_batch):
+        simulated_bits = output_bit_vector(
+            simulated.return_value, simulated.arrays, observed, module, func_name
+        )
+        matches = simulated.completed and golden_bits == simulated_bits
+        outcomes.append(
+            TestbenchOutcome(
+                golden=golden,
+                simulated=simulated,
+                matches=matches,
+                golden_bits=golden_bits,
+                simulated_bits=simulated_bits,
+            )
+        )
+    return outcomes
 
 
 def hamming_distance_fraction(a: Sequence[int], b: Sequence[int]) -> float:

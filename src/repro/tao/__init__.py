@@ -57,6 +57,7 @@ from repro.tao.metrics import (
     generate_wrong_keys,
     output_corruptibility,
     run_key_trial,
+    run_key_trials,
     validate_component,
 )
 
@@ -87,6 +88,7 @@ __all__ = [
     "build_report",
     "generate_wrong_keys",
     "run_key_trial",
+    "run_key_trials",
     "choose_working_key",
     "create_dfg_variants",
     "eligible_roms",

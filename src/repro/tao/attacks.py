@@ -22,6 +22,7 @@ from repro.sim.testbench import (
     Testbench,
     hamming_distance_fraction,
     run_testbench,
+    run_testbench_batch,
 )
 from repro.tao.flow import ObfuscatedComponent
 from repro.tao.key import LockingKey
@@ -51,7 +52,10 @@ def random_key_attack(
     """Guess random locking keys; count how many unlock the design.
 
     ``engine`` selects the FSMD engine for every probe (compiled
-    default); attack outcomes are engine-independent.
+    default); attack outcomes are engine-independent.  All guesses are
+    drawn up front (preserving the scalar loop's RNG stream) and each
+    workload probes them as one key batch, so the codegen engine binds
+    and sweeps the whole guess set per workload.
     """
     rng = random.Random(seed)
     design = component.design
@@ -62,28 +66,26 @@ def random_key_attack(
         engine=engine,
     )
     cap = max(8 * good.cycles, 4000)
-    unlocking = 0
-    hammings = []
-    for _ in range(n_keys):
-        guess = LockingKey.random(rng)
-        if guess.bits == component.locking_key.bits:
-            continue  # astronomically unlikely; skip to keep counts honest
-        working = component.working_key_for(guess)
-        all_match = True
-        hamming_sum = 0.0
-        for bench in benches:
-            outcome = run_testbench(
-                design, bench, working_key=working, max_cycles=cap, engine=engine
-            )
-            all_match &= outcome.matches
-            hamming_sum += hamming_distance_fraction(
+    guesses = [LockingKey.random(rng) for _ in range(n_keys)]
+    # An astronomically unlikely correct guess is skipped (not probed)
+    # to keep the counts honest, exactly like the scalar loop did.
+    guesses = [g for g in guesses if g.bits != component.locking_key.bits]
+    workings = [component.working_key_for(guess) for guess in guesses]
+    all_match = [True] * len(guesses)
+    hamming_sums = [0.0] * len(guesses)
+    for bench in benches:
+        outcomes = run_testbench_batch(
+            design, bench, workings, max_cycles=cap, engine=engine
+        )
+        for lane, outcome in enumerate(outcomes):
+            all_match[lane] &= outcome.matches
+            hamming_sums[lane] += hamming_distance_fraction(
                 outcome.golden_bits, outcome.simulated_bits
             )
-        unlocking += all_match
-        hammings.append(hamming_sum / len(benches))
+    hammings = [total / len(benches) for total in hamming_sums]
     return RandomKeyAttackResult(
         keys_tried=n_keys,
-        keys_unlocking=unlocking,
+        keys_unlocking=sum(all_match),
         average_hamming=sum(hammings) / len(hammings) if hammings else 0.0,
         search_space_bits=component.locking_key.width,
     )
@@ -149,16 +151,15 @@ def key_sensitivity_analysis(
         sample = bits
         if len(sample) > max_bits_per_category:
             sample = sorted(rng.sample(bits, max_bits_per_category))
-        category_affecting = 0
-        for bit in sample:
-            outcome = run_testbench(
-                design,
-                bench,
-                working_key=correct ^ (1 << bit),
-                max_cycles=cap,
-                engine=engine,
-            )
-            category_affecting += not outcome.matches
+        # One batch per category: each lane probes one flipped bit.
+        outcomes = run_testbench_batch(
+            design,
+            bench,
+            [correct ^ (1 << bit) for bit in sample],
+            max_cycles=cap,
+            engine=engine,
+        )
+        category_affecting = sum(not outcome.matches for outcome in outcomes)
         probed += len(sample)
         affecting += category_affecting
         by_category[name] = (category_affecting, len(sample))
@@ -216,14 +217,19 @@ def brute_force_slice_with_oracle(
         raise ValueError(f"unknown slice category {which!r}")
 
     mask = ((1 << width) - 1) << offset
-    consistent = []
-    for candidate in range(1 << width):
-        probe = (correct & ~mask) | (candidate << offset)
-        outcome = run_testbench(
-            design, bench, working_key=probe, max_cycles=cap, engine=engine
-        )
-        if outcome.simulated_bits == oracle.simulated_bits and outcome.matches:
-            consistent.append(candidate)
+    # Enumerate the slice as one key batch: one lane per candidate.
+    probes = [
+        (correct & ~mask) | (candidate << offset)
+        for candidate in range(1 << width)
+    ]
+    outcomes = run_testbench_batch(
+        design, bench, probes, max_cycles=cap, engine=engine
+    )
+    consistent = [
+        candidate
+        for candidate, outcome in enumerate(outcomes)
+        if outcome.simulated_bits == oracle.simulated_bits and outcome.matches
+    ]
     true_value = (correct & mask) >> offset
     return SliceBruteForceResult(
         slice_bits=width,

@@ -9,11 +9,14 @@ that campaign on our designs.
 
 Execution rides on :mod:`repro.runtime`: the golden software model is
 memoized per ``(design, testbench)`` (it is key-independent, so a
-100-key campaign interprets it exactly once per workload), and with
-``jobs > 1`` the wrong-key trials fan out across worker processes
-via :func:`repro.runtime.campaign.parallel_map`.  All keys are drawn
-up front from the campaign seed and each trial is a pure function of
-its key, so parallel and serial runs produce identical reports.
+100-key campaign interprets it exactly once per workload), wrong keys
+run through the *batched* trial path (:func:`run_key_trials`, lanes
+capped at :data:`KEY_BATCH_LANES`) so the codegen engine can bind and
+sweep whole key batches, and with ``jobs > 1`` the batches fan out
+across worker processes via
+:func:`repro.runtime.campaign.parallel_map`.  All keys are drawn up
+front from the campaign seed and each trial is a pure function of its
+key, so every batch/process layout produces identical reports.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from repro.sim.testbench import (
     DEFAULT_MAX_CYCLES,
     Testbench,
     hamming_distance_fraction,
-    run_testbench,
+    run_testbench_batch,
 )
 from repro.tao.flow import ObfuscatedComponent
 from repro.tao.key import LockingKey
@@ -36,6 +39,11 @@ from repro.tao.key import LockingKey
 UNCAPPED_CYCLES = DEFAULT_MAX_CYCLES
 #: Floor of the wrong-key cycle cap (8x baseline, but never below this).
 WRONG_KEY_CYCLE_FLOOR = 4000
+#: Lane cap for one batched simulate call: bounds the per-batch memory
+#: (each lane carries private register/memory images) while keeping
+#: batches large enough that the codegen tier's per-batch costs
+#: (``bind_keys``, memory setup) amortize.
+KEY_BATCH_LANES = 64
 
 
 @dataclass
@@ -118,6 +126,58 @@ def _cycle_cap(baseline_cycles: int, max_cycles: Optional[int]) -> int:
     return UNCAPPED_CYCLES
 
 
+def run_key_trials(
+    component: ObfuscatedComponent,
+    benches: Sequence[Testbench],
+    keys: Sequence[LockingKey],
+    cycle_cap: int,
+    engine: Optional[str] = None,
+) -> list[KeyTrialResult]:
+    """Simulate a batch of locking keys over all workloads.
+
+    A pure function of ``(component, benches, keys, cycle_cap)`` — the
+    unit the campaign engine parallelizes, one lane per key.  Each
+    workload runs through :func:`run_testbench_batch`, so under the
+    codegen engine the whole key batch is bound once and swept through
+    lane-vectorized storage; per-key aggregation (matches over all
+    workloads, workload-averaged Hamming fraction, max cycles) is
+    order-independent, so the result list matches scalar
+    :func:`run_key_trial` calls key for key on every engine.  The
+    golden reference comes from the process-wide cache.
+    """
+    working = [component.working_key_for(key) for key in keys]
+    matches_all = [True] * len(keys)
+    completed_all = [True] * len(keys)
+    hamming_sum = [0.0] * len(keys)
+    cycles = [0] * len(keys)
+    for bench in benches:
+        outcomes = run_testbench_batch(
+            component.design,
+            bench,
+            working,
+            max_cycles=cycle_cap,
+            engine=engine,
+        )
+        for lane, outcome in enumerate(outcomes):
+            matches_all[lane] &= outcome.matches
+            completed_all[lane] &= outcome.simulated.completed
+            hamming_sum[lane] += hamming_distance_fraction(
+                outcome.golden_bits, outcome.simulated_bits
+            )
+            cycles[lane] = max(cycles[lane], outcome.cycles)
+    return [
+        KeyTrialResult(
+            locking_key=key,
+            is_correct_key=key.bits == component.locking_key.bits,
+            output_matches=matches_all[lane],
+            hamming_fraction=hamming_sum[lane] / max(1, len(benches)),
+            cycles=cycles[lane],
+            completed=completed_all[lane],
+        )
+        for lane, key in enumerate(keys)
+    ]
+
+
 def run_key_trial(
     component: ObfuscatedComponent,
     benches: Sequence[Testbench],
@@ -127,51 +187,25 @@ def run_key_trial(
 ) -> KeyTrialResult:
     """Simulate one locking key over all workloads.
 
-    A pure function of ``(component, benches, key, cycle_cap)`` — the
-    unit the campaign engine parallelizes.  The golden reference comes
-    from the process-wide cache inside :func:`run_testbench`; the FSMD
-    engine (``engine``: compiled default / interp reference) changes
-    wall time only, never the trial result.
+    A one-lane delegation to :func:`run_key_trials`, so scalar and
+    batched campaigns agree by construction.
     """
-    working = component.working_key_for(key)
-    matches_all = True
-    completed_all = True
-    hamming_sum = 0.0
-    cycles = 0
-    for bench in benches:
-        outcome = run_testbench(
-            component.design,
-            bench,
-            working_key=working,
-            max_cycles=cycle_cap,
-            engine=engine,
-        )
-        matches_all &= outcome.matches
-        completed_all &= outcome.simulated.completed
-        hamming_sum += hamming_distance_fraction(
-            outcome.golden_bits, outcome.simulated_bits
-        )
-        cycles = max(cycles, outcome.cycles)
-    return KeyTrialResult(
-        locking_key=key,
-        is_correct_key=key.bits == component.locking_key.bits,
-        output_matches=matches_all,
-        hamming_fraction=hamming_sum / max(1, len(benches)),
-        cycles=cycles,
-        completed=completed_all,
-    )
+    return run_key_trials(component, benches, [key], cycle_cap, engine=engine)[0]
 
 
-def _key_trial_worker(shared, key_bits: int):
+def _key_batch_worker(shared, key_bits_batch: Sequence[int]):
     """Module-level trampoline so pool workers can unpickle the task.
 
-    Returns ``(trial, cache_delta)``: the worker measures its own
-    cache-counter increments per task so the parent can absorb them —
-    trials run in nested pools would otherwise vanish from campaign
-    telemetry (the workers' counters die with their processes).  The
-    parent's persistent cache directory rides along so nested workers
-    open the same disk backend instead of re-interpreting the golden
-    model.
+    Each task is a *batch* of locking-key bit patterns (see
+    :func:`repro.runtime.campaign.key_batches`), simulated in one
+    :func:`run_key_trials` call so the codegen engine sweeps them as
+    lanes.  Returns ``(trials, cache_delta)``: the worker measures its
+    own cache-counter increments per task so the parent can absorb
+    them — trials run in nested pools would otherwise vanish from
+    campaign telemetry (the workers' counters die with their
+    processes).  The parent's persistent cache directory rides along so
+    nested workers open the same disk backend instead of
+    re-interpreting the golden model.
     """
     from repro.runtime.cache import (
         active_cache_dir,
@@ -184,9 +218,9 @@ def _key_trial_worker(shared, key_bits: int):
     if cache_dir is not None and cache_dir != active_cache_dir():
         configure_disk_cache(cache_dir)
     stats_before = cache_stats()
-    key = LockingKey(bits=key_bits, width=width)
-    trial = run_key_trial(component, benches, key, cycle_cap, engine=engine)
-    return trial, stats_delta(stats_before, cache_stats())
+    keys = [LockingKey(bits=bits, width=width) for bits in key_bits_batch]
+    trials = run_key_trials(component, benches, keys, cycle_cap, engine=engine)
+    return trials, stats_delta(stats_before, cache_stats())
 
 
 def build_report(
@@ -248,20 +282,25 @@ def validate_component(
     produced outputs.
 
     ``n_keys`` must be at least 2: a campaign with no wrong keys can
-    only report vacuous success.  With ``jobs > 1`` the wrong-key
-    trials run on a process pool; keys are drawn up front from ``seed``
-    so the report is identical to a serial run, and the workers' cache
-    counters are folded back into this process so telemetry counts
-    every trial.
+    only report vacuous success.  Wrong keys always flow through the
+    batched trial path in :data:`KEY_BATCH_LANES`-capped chunks (see
+    :func:`repro.runtime.campaign.key_batches`); with ``jobs > 1`` the
+    batches fan out over a process pool instead of running inline.
+    Keys are drawn up front from ``seed`` and trial results are
+    independent of the batch boundaries, so every process/batch layout
+    produces the identical report, and the workers' cache counters are
+    folded back into this process so telemetry counts every trial.
 
     ``engine`` selects the FSMD engine for every trial (compiled
-    default / interp reference — the report is engine-independent).
-    Under the compiled engine the design is lowered exactly once per
-    process (:func:`repro.sim.compiled.compiled_for` memoizes on the
-    design object) and every key trial reuses the plan via a cheap
-    ``bind_key``; nested pool workers each receive the component once
-    through the pool initializer, so they too compile once and share
-    the plan across all their trials.
+    default / codegen batched / interp reference — the report is
+    engine-independent).  The fast tiers lower the design exactly once
+    per process (``compiled_for`` / ``codegen_for`` memoize on the
+    design object): the compiled plan rebinds per key via a cheap
+    ``bind_key``, while the codegen plan binds each key batch at once
+    (``bind_keys``) and sweeps it through lane-vectorized storage.
+    Nested pool workers each receive the component once through the
+    pool initializer, so they too compile once and share the plan
+    across all their trials.
     """
     if n_keys < 2:
         raise ValueError(
@@ -283,13 +322,17 @@ def validate_component(
     baseline_cycles = correct_trial.cycles
     cap = _cycle_cap(baseline_cycles, max_cycles)
 
+    from repro.runtime.campaign import key_batches
+
     if jobs > 1 and len(wrong_keys) > 1:
         from repro.runtime.cache import absorb_stats, active_cache_dir
         from repro.runtime.campaign import parallel_map
 
         outcomes = parallel_map(
-            _key_trial_worker,
-            [key.bits for key in wrong_keys],
+            _key_batch_worker,
+            key_batches(
+                [key.bits for key in wrong_keys], jobs, max_lanes=KEY_BATCH_LANES
+            ),
             shared=(
                 component,
                 benches,
@@ -299,19 +342,19 @@ def validate_component(
                 engine,
             ),
             jobs=jobs,
-            chunksize=max(1, len(wrong_keys) // (4 * jobs)),
         )
-        wrong_trials = [trial for trial, _delta in outcomes]
+        wrong_trials = [trial for trials, _delta in outcomes for trial in trials]
         # Fold the workers' counter deltas into this process so
         # cache_stats() (and campaign --cache-stats) counts every
         # trial, not just the ones run inline.
-        for _trial, delta in outcomes:
+        for _trials, delta in outcomes:
             absorb_stats(delta)
     else:
-        wrong_trials = [
-            run_key_trial(component, benches, key, cap, engine=engine)
-            for key in wrong_keys
-        ]
+        wrong_trials = []
+        for batch in key_batches(wrong_keys, 1, max_lanes=KEY_BATCH_LANES):
+            wrong_trials.extend(
+                run_key_trials(component, benches, batch, cap, engine=engine)
+            )
     return build_report(component.design.name, [correct_trial, *wrong_trials])
 
 
@@ -322,18 +365,21 @@ def output_corruptibility(
     max_cycles: int = 400_000,
     engine: Optional[str] = None,
 ) -> float:
-    """Average output Hamming fraction over the given wrong keys."""
-    total = 0.0
-    for key in wrong_keys:
-        working = component.working_key_for(key)
-        outcome = run_testbench(
-            component.design,
-            bench,
-            working_key=working,
-            max_cycles=max_cycles,
-            engine=engine,
-        )
-        total += hamming_distance_fraction(
-            outcome.golden_bits, outcome.simulated_bits
-        )
+    """Average output Hamming fraction over the given wrong keys.
+
+    All keys run as one batch (one lane each), so the codegen engine
+    binds and sweeps them in a single pass.
+    """
+    working = [component.working_key_for(key) for key in wrong_keys]
+    outcomes = run_testbench_batch(
+        component.design,
+        bench,
+        working,
+        max_cycles=max_cycles,
+        engine=engine,
+    )
+    total = sum(
+        hamming_distance_fraction(outcome.golden_bits, outcome.simulated_bits)
+        for outcome in outcomes
+    )
     return total / max(1, len(wrong_keys))

@@ -1,6 +1,7 @@
-"""Compiled FSMD engine: differential bit-identity against the
-reference interpreter, the engine seam, the compile-once cache, and the
-zero-size-memory regression (both engines)."""
+"""Fast FSMD engines: differential bit-identity of the compiled and
+codegen tiers against the reference interpreter, the engine seam, the
+compile-once cache, and the zero-size-memory regression (all three
+engines)."""
 
 import functools
 
@@ -13,6 +14,7 @@ from repro.hls import hls_flow
 from repro.runtime.campaign import CampaignSpec, run_campaign
 from repro.sim import (
     SimulationError,
+    codegen_for,
     compiled_for,
     resolve_engine,
     run_testbench,
@@ -36,7 +38,7 @@ def result_fields(result):
 
 
 def assert_identical(design, args, arrays, working_key, max_cycles, trace=False):
-    """Run both engines on one trial; assert field-identical results."""
+    """Run all three engines on one trial; assert field-identical results."""
     interp = FsmdSimulator(design, max_cycles=max_cycles, trace=trace).run(
         args, dict(arrays) if arrays else None, working_key
     )
@@ -48,6 +50,14 @@ def assert_identical(design, args, arrays, working_key, max_cycles, trace=False)
         trace=trace,
     )
     assert result_fields(interp) == result_fields(compiled)
+    codegen = codegen_for(design).run(
+        args,
+        dict(arrays) if arrays else None,
+        working_key=working_key,
+        max_cycles=max_cycles,
+        trace=trace,
+    )
+    assert result_fields(interp) == result_fields(codegen)
     return interp
 
 
@@ -96,7 +106,7 @@ class TestDifferentialAcrossSuite:
         component, workload = _obfuscated(bench_name, "full")
         wrong = component.correct_working_key ^ 0b11
         outcomes = {}
-        for engine in ("interp", "compiled"):
+        for engine in ("interp", "compiled", "codegen"):
             good = run_testbench(
                 component.design,
                 workload,
@@ -118,7 +128,7 @@ class TestDifferentialAcrossSuite:
                 bad.simulated_bits,
                 bad.cycles,
             )
-        assert outcomes["interp"] == outcomes["compiled"]
+        assert outcomes["interp"] == outcomes["compiled"] == outcomes["codegen"]
         assert outcomes["interp"][0] is True
 
 
@@ -245,7 +255,7 @@ int f(int x) {
 
 
 class TestZeroSizeMemory:
-    @pytest.mark.parametrize("engine", ("interp", "compiled"))
+    @pytest.mark.parametrize("engine", ("interp", "compiled", "codegen"))
     def test_load_from_zero_size_memory_raises(self, engine):
         component = TaoFlow(pipeline="full-rom").obfuscate(ROM_SOURCE, "f")
         design = component.design
@@ -265,7 +275,7 @@ class TestZeroSizeMemory:
 class TestCampaignEngineParity:
     def test_campaign_json_byte_identical_across_engines(self):
         documents = {}
-        for engine in ("interp", "compiled"):
+        for engine in ("interp", "compiled", "codegen"):
             spec = CampaignSpec(
                 benchmarks=("gsm",),
                 n_keys=3,
@@ -276,6 +286,7 @@ class TestCampaignEngineParity:
             )
             documents[engine] = run_campaign(spec).to_json()
         assert documents["interp"] == documents["compiled"]
+        assert documents["interp"] == documents["codegen"]
         # The engine is an execution knob: it must not leak into the
         # serialized spec (that is what keeps the JSON comparable).
         assert '"engine"' not in documents["compiled"]
