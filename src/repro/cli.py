@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro figure6
     python -m repro validate --benchmark sobel --keys 20
     python -m repro campaign --benchmarks all --keys 20 --jobs 4 -o out.json
+    python -m repro list [kind] [--json]
 
 ``obfuscate`` writes the obfuscated Verilog, the locking key, and a
 JSON key manifest; ``analyze`` prints the key apportionment (Eq. 1)
@@ -70,9 +71,9 @@ def _add_flow_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--key-scheme",
-        choices=("replication", "aes"),
         default="replication",
-        help="working-key management scheme (paper §3.4)",
+        help="working-key management scheme (paper §3.4); "
+        "see 'repro list key-scheme'",
     )
     parser.add_argument(
         "--locking-key",
@@ -93,6 +94,21 @@ def _parameters(args: argparse.Namespace) -> ObfuscationParameters:
 def _locking_key(args: argparse.Namespace) -> Optional[LockingKey]:
     if args.locking_key:
         return LockingKey(bits=int(args.locking_key, 16), width=256)
+    return None
+
+
+def _check_capabilities(kind: str, names: Sequence[str]) -> Optional[str]:
+    """Resolve each name through the capability registry (plugins
+    loaded); returns the uniform error message, or ``None`` if all
+    resolve."""
+    from repro.registry import REGISTRY, UnknownCapabilityError
+
+    REGISTRY.load_plugins()
+    for name in names:
+        try:
+            REGISTRY.get(kind, name)
+        except UnknownCapabilityError as error:
+            return str(error)
     return None
 
 
@@ -138,6 +154,10 @@ def cmd_obfuscate(args: argparse.Namespace) -> int:
     params = _parameters(args)
     pipeline = _flow_pipeline(args, params)
     if pipeline is None:
+        return 2
+    scheme_error = _check_capabilities("key-scheme", [args.key_scheme])
+    if scheme_error:
+        print(scheme_error, file=sys.stderr)
         return 2
     flow = TaoFlow(params=params, key_scheme=args.key_scheme, pipeline=pipeline)
     component = flow.obfuscate(
@@ -245,14 +265,49 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.correct_key_ok and report.wrong_keys_all_corrupt else 1
 
 
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.registry import (
+        REGISTRY,
+        UnknownCapabilityError,
+        describe_capabilities,
+    )
+
+    try:
+        listing = describe_capabilities(args.kind)
+    except UnknownCapabilityError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    first = True
+    for kind, entries in listing.items():
+        if not first:
+            print()
+        first = False
+        print(f"{kind} — {REGISTRY.label(kind)}s ({len(entries)}):")
+        if not entries:
+            print("  (none registered)")
+            continue
+        name_w = max(len(e["name"]) for e in entries)
+        prov_w = max(len(e["provenance"]) for e in entries)
+        for entry in entries:
+            line = (
+                f"  {entry['name']:<{name_w}}  "
+                f"[{entry['provenance']:<{prov_w}}]"
+            )
+            if entry["description"]:
+                line += f"  {entry['description']}"
+            print(line)
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.benchsuite import benchmark_names
     from repro.evaluation.report import format_campaign
     from repro.runtime.cache import CACHE_DIR_ENV, configure_disk_cache
     from repro.runtime.campaign import (
         PIPELINE_FROM_PARAMS,
-        PRESET_BUDGETS,
-        PRESET_CONFIGS,
         CampaignSpec,
         resolve_jobs,
         run_campaign,
@@ -276,14 +331,15 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     configs = tuple(dict.fromkeys(args.config or ["default"]))
-    unknown_configs = [c for c in configs if c not in PRESET_CONFIGS]
-    if unknown_configs:
-        print(
-            f"unknown config(s): {', '.join(unknown_configs)}", file=sys.stderr
-        )
-        print(f"available: {', '.join(PRESET_CONFIGS)}", file=sys.stderr)
+    config_error = _check_capabilities("config", configs)
+    if config_error:
+        print(config_error, file=sys.stderr)
         return 2
     key_schemes = tuple(dict.fromkeys(args.key_scheme or ["replication"]))
+    scheme_error = _check_capabilities("key-scheme", key_schemes)
+    if scheme_error:
+        print(scheme_error, file=sys.stderr)
+        return 2
     pipelines = tuple(dict.fromkeys(args.pipeline or [PIPELINE_FROM_PARAMS]))
     for label in pipelines:
         if label == PIPELINE_FROM_PARAMS:
@@ -300,12 +356,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             )
             return 2
     budgets = tuple(dict.fromkeys(args.budget or ["default"]))
-    unknown_budgets = [b for b in budgets if b not in PRESET_BUDGETS]
-    if unknown_budgets:
-        print(
-            f"unknown budget(s): {', '.join(unknown_budgets)}", file=sys.stderr
-        )
-        print(f"available: {', '.join(PRESET_BUDGETS)}", file=sys.stderr)
+    budget_error = _check_capabilities("budget", budgets)
+    if budget_error:
+        print(budget_error, file=sys.stderr)
+        return 2
+    attacks = tuple(dict.fromkeys(args.attack or []))
+    attack_error = _check_capabilities("attack", attacks)
+    if attack_error:
+        print(attack_error, file=sys.stderr)
         return 2
     known = benchmark_names()
     if args.benchmarks.strip().lower() == "all":
@@ -347,6 +405,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=resolve_jobs(args.jobs),
         engine=args.engine,
+        attacks=attacks,
     )
     result = run_campaign(spec, collect_cache_stats=args.cache_stats)
     if args.output is not None:
@@ -392,6 +451,26 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--benchmark", default="sobel")
     validate.add_argument("--keys", type=int, default=10)
     validate.set_defaults(func=cmd_validate)
+
+    list_cmd = subparsers.add_parser(
+        "list",
+        help="enumerate registered capabilities (benchmarks, stages, "
+        "key schemes, budgets, engines, attacks, ...)",
+    )
+    list_cmd.add_argument(
+        "kind",
+        nargs="?",
+        default=None,
+        help="capability kind to list (default: every kind); one of: "
+        "benchmark, stage, pipeline-preset, config, key-scheme, "
+        "budget, engine, attack",
+    )
+    list_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (per-kind name/description/provenance)",
+    )
+    list_cmd.set_defaults(func=cmd_list)
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -463,6 +542,36 @@ def build_parser() -> argparse.ArgumentParser:
             "  CI persists the directory with actions/cache keyed on\n"
             "  the hash of src/repro/benchsuite/ (content addressing makes\n"
             "  stale entries harmless: they are simply never looked up).\n"
+            "\n"
+            "plugins and the capability registry:\n"
+            "  Every sweepable axis resolves through one typed registry\n"
+            "  (repro.registry.CapabilityRegistry): benchmarks, stages,\n"
+            "  pipeline presets, configs, key schemes, budgets, engines\n"
+            "  and attacks.  'repro list [kind] [--json]' enumerates the\n"
+            "  registered entries with description and provenance\n"
+            "  (builtin vs plugin:<name>).  Third-party packages extend\n"
+            "  any axis without touching this repository: expose an\n"
+            "  entry point in group 'repro.plugins' resolving to a\n"
+            "  callable(registry) (or a module whose import registers)\n"
+            "  and call registry.register(kind, name, value,\n"
+            "  description=...).  Plugins load lazily, exactly once per\n"
+            "  process, only at name-resolution time; a broken plugin\n"
+            "  degrades to a RuntimeWarning and the campaign keeps\n"
+            "  running on the remaining capabilities.  Registered\n"
+            "  plugin capabilities sweep as campaign axes (--config /\n"
+            "  --key-scheme / --budget / --pipeline / --attack /\n"
+            "  --engine / --benchmarks) and render in reports like\n"
+            "  builtins.  Registration order never enters seeds or\n"
+            "  cache keys, so installing a plugin perturbs no existing\n"
+            "  campaign bytes.\n"
+            "\n"
+            "attacks (--attack, repeatable):\n"
+            "  Registered attack analyses (repro.tao.attacks; 'repro\n"
+            "  list attack') run against every unit's obfuscated\n"
+            "  component after key validation, each on its own derived\n"
+            "  seed stream, and embed an 'attacks' block in the unit's\n"
+            "  JSON.  Omitting --attack keeps the document byte-\n"
+            "  identical to pre-attack output.\n"
         ),
     )
     campaign.add_argument(
@@ -507,14 +616,19 @@ def build_parser() -> argparse.ArgumentParser:
         "comma-separated stage list (repeatable; default: params = "
         "stages from each config's parameter booleans; see the epilog)",
     )
-    from repro.sim import ENGINES
-
+    campaign.add_argument(
+        "--attack",
+        action="append",
+        help="registered attack(s) to run against every unit's component "
+        "(repeatable; see 'repro list attack'; results embed in each "
+        "unit's JSON without perturbing seeds or keys)",
+    )
     campaign.add_argument(
         "--engine",
-        choices=ENGINES,
         default=None,
         help="FSMD simulation engine (default: $REPRO_SIM_ENGINE, else "
-        "compiled); results are engine-independent — see the epilog",
+        "compiled; see 'repro list engine'); results are "
+        "engine-independent — see the epilog",
     )
     campaign.add_argument("-o", "--output", type=Path, default=None)
     campaign.add_argument(

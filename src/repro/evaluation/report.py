@@ -33,7 +33,13 @@ from repro.evaluation.validation import format_validation, validate_suite
 if TYPE_CHECKING:
     from repro.runtime.results import CampaignResult
 
-BENCHMARK_NAMES = ["gsm", "adpcm", "sobel", "backprop", "viterbi"]
+def _benchmark_names() -> list[str]:
+    """Benchmark names resolved through the capability registry (the
+    five builtins plus any plugin-registered kernels), in registration
+    order — the report never hard-codes the suite."""
+    from repro.benchsuite import benchmark_names
+
+    return benchmark_names()
 
 
 def format_campaign(result: "CampaignResult") -> str:
@@ -97,6 +103,9 @@ def format_campaign(result: "CampaignResult") -> str:
     stage_lines = _format_stage_telemetry(result)
     if stage_lines:
         lines += ["", *stage_lines]
+    attack_lines = _format_attacks(result)
+    if attack_lines:
+        lines += ["", *attack_lines]
     if result.cache:
         for name, label in (("golden", "golden-model"), ("frontend", "front-end")):
             counters = result.cache.get(name)
@@ -148,6 +157,42 @@ def _format_stage_telemetry(result: "CampaignResult") -> list[str]:
     return lines
 
 
+def _format_attacks(result: "CampaignResult") -> list[str]:
+    """Render per-unit attack blocks (``CampaignSpec.attacks``) as a
+    markdown table; empty when no unit carries attack results.
+
+    The summary column compacts each attack's registered result dict
+    into ``key=value`` pairs, so plugin attacks render without this
+    module knowing their schema.
+    """
+    rows: list[tuple[str, str, str, str]] = []
+    for unit in result.units:
+        for name, block in unit.attacks.items():
+            details = ", ".join(
+                f"{key}={value}"
+                for key, value in block.items()
+                if key != "applicable"
+            )
+            applicable = block.get("applicable", True)
+            rows.append(
+                (
+                    unit.benchmark,
+                    unit.config,
+                    name,
+                    details if applicable else f"n/a ({block.get('reason', '?')})",
+                )
+            )
+    if not rows:
+        return []
+    lines = [
+        "| benchmark | config | attack | result |",
+        "|---|---|---|---|",
+    ]
+    for benchmark, config, name, details in rows:
+        lines.append(f"| {benchmark} | {config} | {name} | {details} |")
+    return lines
+
+
 def render_campaign_file(json_path: Path | str) -> str:
     """Load a ``repro campaign`` JSON file and render it as markdown."""
     from repro.runtime.results import CampaignResult
@@ -178,7 +223,7 @@ def generate_report(n_validation_keys: int = 10, jobs: int = 1) -> str:
         "## P1 — latency with the correct key",
         "```",
     ]
-    for name in BENCHMARK_NAMES:
+    for name in _benchmark_names():
         row = measure_latency(name)
         sections.append(
             f"{name:<10} baseline {row.baseline_cycles:>6} cycles, "
@@ -190,7 +235,7 @@ def generate_report(n_validation_keys: int = 10, jobs: int = 1) -> str:
         "",
         "## P2 — frequency impact",
         "```",
-        format_frequency_rows([measure_frequency(n) for n in BENCHMARK_NAMES]),
+        format_frequency_rows([measure_frequency(n) for n in _benchmark_names()]),
         "```",
         "",
         "## K1 — key management",

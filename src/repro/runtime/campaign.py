@@ -57,20 +57,41 @@ import hashlib
 import os
 import time
 import warnings
+from collections.abc import MutableMapping
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, TypeVar
+
+from repro.registry import REGISTRY, CapabilityView
 
 _T = TypeVar("_T")
 
 #: Named parameter configurations for sweeps (mirrors the Figure 6
 #: ablation axes: each obfuscation in isolation plus the full flow).
-PRESET_CONFIGS: dict[str, dict[str, Any]] = {
-    "default": {},
-    "branches-only": {"obfuscate_constants": False, "obfuscate_dfg": False},
-    "constants-only": {"obfuscate_branches": False, "obfuscate_dfg": False},
-    "dfg-only": {"obfuscate_branches": False, "obfuscate_constants": False},
-}
+#: A live view over the ``"config"`` kind of the capability registry —
+#: plugin-registered configs appear here too.
+PRESET_CONFIGS: MutableMapping = CapabilityView(REGISTRY, "config")
+
+for _name, _overrides, _desc in (
+    ("default", {}, "full flow: all obfuscations at their defaults"),
+    (
+        "branches-only",
+        {"obfuscate_constants": False, "obfuscate_dfg": False},
+        "branch masking in isolation",
+    ),
+    (
+        "constants-only",
+        {"obfuscate_branches": False, "obfuscate_dfg": False},
+        "constant extraction in isolation",
+    ),
+    (
+        "dfg-only",
+        {"obfuscate_branches": False, "obfuscate_constants": False},
+        "DFG variants in isolation",
+    ),
+):
+    REGISTRY.register("config", _name, _overrides, description=_desc)
+del _name, _overrides, _desc
 
 #: Pipeline-axis sentinel: derive the stage set from the unit's
 #: ``ObfuscationParameters`` booleans (the legacy behaviour every
@@ -92,7 +113,10 @@ CONFIG_PIPELINES: dict[str, str] = {
 
 #: Working-key management schemes (paper §3.4): locking-key replication
 #: versus AES power-up decryption of an NVM-stored working key.
-KEY_SCHEMES: tuple[str, ...] = ("replication", "aes")
+#: Snapshot of the builtin ``"key-scheme"`` registrations
+#: (:mod:`repro.tao.keymgmt`); plugin schemes resolve by name through
+#: the registry everywhere scheme names are accepted.
+KEY_SCHEMES: tuple[str, ...] = REGISTRY.names("key-scheme")
 
 #: Named resource-constraint presets for the budget axis.  Each preset
 #: is ``None`` (the scheduler's default ``ResourceConstraints``) or a
@@ -104,27 +128,36 @@ KEY_SCHEMES: tuple[str, ...] = ("replication", "aes")
 #: the A3 ablation's adder/logic budgets; ``mul-tight`` starves the
 #: multiply/divide datapath and ``mem-tight`` banks every array behind
 #: one shared memory port.
-PRESET_BUDGETS: dict[str, Optional[dict[str, Any]]] = {
-    "default": None,
-    "tight": {"limits": {"addsub": 1, "logic": 1}},
-    "loose": {"limits": {"addsub": 4, "logic": 4}},
-    "mul-tight": {"limits": {"mul": 1, "div": 1}},
-    "mem-tight": {"memory_ports": 1, "shared_memory_port": True},
-}
+PRESET_BUDGETS: MutableMapping = CapabilityView(REGISTRY, "budget")
+
+for _name, _limits, _desc in (
+    ("default", None, "the scheduler's default ResourceConstraints"),
+    ("tight", {"limits": {"addsub": 1, "logic": 1}}, "one adder, one logic unit (A3)"),
+    ("loose", {"limits": {"addsub": 4, "logic": 4}}, "four adders, four logic units"),
+    ("mul-tight", {"limits": {"mul": 1, "div": 1}}, "starved multiply/divide datapath"),
+    (
+        "mem-tight",
+        {"memory_ports": 1, "shared_memory_port": True},
+        "every array banked behind one shared memory port",
+    ),
+):
+    REGISTRY.register("budget", _name, _limits, description=_desc)
+del _name, _limits, _desc
 
 
 def budget_constraints(budget: str):
     """``ResourceConstraints`` for a :data:`PRESET_BUDGETS` name.
 
     Returns ``None`` for the default budget (the scheduler applies its
-    own defaults); raises ``KeyError`` for unknown budget names or
-    preset entries that name no ``ResourceConstraints`` field.
+    own defaults).  Unknown budget names raise the registry's uniform
+    :class:`~repro.registry.UnknownCapabilityError` (a ``KeyError``)
+    listing the registered budgets; preset entries that name no
+    ``ResourceConstraints`` field raise ``KeyError`` too.
     """
     import dataclasses
 
-    if budget not in PRESET_BUDGETS:
-        raise KeyError(f"unknown resource budget {budget!r}")
-    preset = PRESET_BUDGETS[budget]
+    REGISTRY.load_plugins()
+    preset = REGISTRY.get("budget", budget)
     if preset is None:
         return None
     from repro.hls.resources import FUKind, ResourceConstraints
@@ -295,6 +328,14 @@ class CampaignSpec:
     jobs: int = 1
     engine: Optional[str] = None
     extra_configs: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...] = ()
+    #: Registered attack names to run against every unit's component
+    #: (after key validation).  Not a multiplicative axis: each attack
+    #: analyzes the unit in place, and its seed is derived from the
+    #: attack name plus the unit labels — adding or removing an attack
+    #: never perturbs unit seeds, keys or any other attack's stream.
+    #: Empty (the default) serializes to nothing, so pre-attack
+    #: campaign JSON stays byte-identical.
+    attacks: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
@@ -304,6 +345,7 @@ class CampaignSpec:
             self, "resource_budgets", tuple(self.resource_budgets)
         )
         object.__setattr__(self, "pipelines", tuple(self.pipelines))
+        object.__setattr__(self, "attacks", tuple(self.attacks))
         object.__setattr__(
             self,
             "extra_configs",
@@ -319,9 +361,8 @@ class CampaignSpec:
         for name, overrides in self.extra_configs:
             if name == config:
                 return dict(overrides)
-        if config in PRESET_CONFIGS:
-            return dict(PRESET_CONFIGS[config])
-        raise KeyError(f"unknown campaign config {config!r}")
+        REGISTRY.load_plugins()
+        return dict(REGISTRY.get("config", config))
 
     def units(self) -> list[tuple[str, str, str, str, str]]:
         """Deterministic (benchmark, config, scheme, budget, pipeline)
@@ -348,6 +389,9 @@ class CampaignSpec:
             "extra_configs": {
                 name: dict(overrides) for name, overrides in self.extra_configs
             },
+            # Omitted when empty so attack-free campaign JSON is
+            # byte-identical to pre-attack-axis output.
+            **({"attacks": list(self.attacks)} if self.attacks else {}),
         }
 
 
@@ -416,19 +460,37 @@ def _run_unit(
         jobs=key_parallel_jobs,
         engine=engine,
     )
+    unit: dict[str, Any] = {
+        "benchmark": benchmark_name,
+        "config": config,
+        "key_scheme": key_scheme,
+        "budget": budget,
+        "pipeline": pipeline,
+        "params": overrides,
+        "seed": seed,
+        "workload_seed": workload_seed,
+        "stages": [r.to_dict() for r in component.stage_reports],
+        "report": report_to_dict(report),
+    }
+    if spec.attacks:
+        from repro.tao.attacks import run_attack
+
+        # Each attack draws from its own name-scoped stream: the unit
+        # seed and every other attack are unaffected by its presence.
+        unit["attacks"] = {
+            attack: run_attack(
+                attack,
+                component,
+                workloads,
+                seed=derive_seed(
+                    spec.seed, "attack", attack, *task
+                ),
+                engine=engine,
+            )
+            for attack in spec.attacks
+        }
     return {
-        "unit": {
-            "benchmark": benchmark_name,
-            "config": config,
-            "key_scheme": key_scheme,
-            "budget": budget,
-            "pipeline": pipeline,
-            "params": overrides,
-            "seed": seed,
-            "workload_seed": workload_seed,
-            "stages": [r.to_dict() for r in component.stage_reports],
-            "report": report_to_dict(report),
-        },
+        "unit": unit,
         "cache_delta": stats_delta(stats_before, cache_stats()),
     }
 
@@ -447,6 +509,7 @@ def _spec_from_dict(data: dict[str, Any]) -> CampaignSpec:
             (name, tuple(overrides.items()))
             for name, overrides in data.get("extra_configs", {}).items()
         ),
+        attacks=tuple(data.get("attacks", ())),
     )
 
 

@@ -26,7 +26,9 @@ parse one format:
              "ops_touched": 4, "key_bits_consumed": 128},
             ...
           ],
-          "report": {... ValidationReport ...}
+          "report": {... ValidationReport ...},
+          "attacks": {...}               # optional: per-attack result blocks
+                                         # (only when the spec listed attacks)
         },
         ...
       ],
@@ -174,9 +176,13 @@ class CampaignUnit:
     pipeline: str = "params"
     workload_seed: Optional[int] = None
     stages: list[dict[str, Any]] = field(default_factory=list)
+    #: Per-attack result blocks keyed by registered attack name
+    #: (``CampaignSpec.attacks``).  Serialized only when non-empty, so
+    #: attack-free documents keep their exact pre-attack byte layout.
+    attacks: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     def to_dict(self, include_trials: bool = True) -> dict[str, Any]:
-        return {
+        data = {
             "benchmark": self.benchmark,
             "config": self.config,
             "key_scheme": self.key_scheme,
@@ -188,6 +194,11 @@ class CampaignUnit:
             "stages": [dict(stage) for stage in self.stages],
             "report": report_to_dict(self.report, include_trials),
         }
+        if self.attacks:
+            data["attacks"] = {
+                name: dict(block) for name, block in self.attacks.items()
+            }
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "CampaignUnit":
@@ -201,6 +212,10 @@ class CampaignUnit:
             seed=data["seed"],
             workload_seed=data.get("workload_seed"),
             stages=[dict(stage) for stage in data.get("stages", [])],
+            attacks={
+                name: dict(block)
+                for name, block in data.get("attacks", {}).items()
+            },
             report=report_from_dict(data["report"]),
         )
 

@@ -12,7 +12,9 @@ from repro.sim.compiled import (
     ENGINE_ENV,
     ENGINES,
     CompiledDesign,
+    EngineDriver,
     compiled_for,
+    engine_driver,
     resolve_engine,
 )
 from repro.sim.fsmd_sim import (
@@ -44,6 +46,7 @@ __all__ = [
     "ENGINES",
     "CodegenDesign",
     "CompiledDesign",
+    "EngineDriver",
     "ExecutionResult",
     "FsmdSimulator",
     "Interpreter",
@@ -55,6 +58,7 @@ __all__ = [
     "codegen_for",
     "compiled_for",
     "default_observed_arrays",
+    "engine_driver",
     "hamming_distance_fraction",
     "output_bit_vector",
     "resolve_engine",

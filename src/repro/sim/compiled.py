@@ -56,13 +56,16 @@ code).
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.hls.design import FsmdDesign, VariantOp
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.types import IntType
 from repro.ir.values import Constant, ObfuscatedConstant, Value
+from repro.registry import REGISTRY
 from repro.sim.fsmd_sim import (
+    FsmdSimulator,
     SimulationError,
     SimulationResult,
     zero_size_memory_error,
@@ -74,11 +77,90 @@ from repro.sim.layout import wrap_fn as _wrap_fn
 
 #: Environment variable selecting the default simulation engine.
 ENGINE_ENV = "REPRO_SIM_ENGINE"
-#: Known engines, fastest-tier last: the closure-compiled plan (the
-#: default), the reference interpreter (the differential oracle), and
-#: the exec()-generated, key-batched codegen tier.
-ENGINES = ("compiled", "interp", "codegen")
 DEFAULT_ENGINE = "compiled"
+
+
+@dataclass(frozen=True)
+class EngineDriver:
+    """One simulation engine as a registered capability.
+
+    ``run`` executes a single key trial with the
+    ``(design, args, arrays, working_key, max_cycles)`` signature of
+    :func:`repro.sim.fsmd_sim.simulate`; ``run_batch`` (optional)
+    sweeps one workload across many keys at once — engines without a
+    native batch path are looped scalar by ``simulate_batch``.  Every
+    engine must return :class:`SimulationResult`\\ s field-identical
+    to the ``interp`` reference oracle.
+    """
+
+    name: str
+    description: str
+    run: Callable[..., SimulationResult]
+    run_batch: Optional[Callable[..., list]] = None
+
+
+def _compiled_run(design, args, arrays, working_key, max_cycles):
+    return compiled_for(design).run(
+        args, arrays=arrays, working_key=working_key, max_cycles=max_cycles
+    )
+
+
+def _interp_run(design, args, arrays, working_key, max_cycles):
+    return FsmdSimulator(design, max_cycles=max_cycles).run(args, arrays, working_key)
+
+
+def _codegen_run(design, args, arrays, working_key, max_cycles):
+    from repro.sim.codegen import codegen_for
+
+    return codegen_for(design).run(
+        args, arrays=arrays, working_key=working_key, max_cycles=max_cycles
+    )
+
+
+def _codegen_run_batch(design, args, arrays, working_keys, max_cycles):
+    from repro.sim.codegen import codegen_for
+
+    return codegen_for(design).run_batch(
+        args, arrays=arrays, working_keys=working_keys, max_cycles=max_cycles
+    )
+
+
+for _driver in (
+    EngineDriver(
+        name="compiled",
+        description="closure-compiled plan, lowered once per design (default)",
+        run=_compiled_run,
+    ),
+    EngineDriver(
+        name="interp",
+        description="reference interpreter: the differential oracle",
+        run=_interp_run,
+    ),
+    EngineDriver(
+        name="codegen",
+        description="exec()-generated source, lane-vectorized across key batches",
+        run=_codegen_run,
+        run_batch=_codegen_run_batch,
+    ),
+):
+    REGISTRY.register(
+        "engine", _driver.name, _driver, description=_driver.description
+    )
+del _driver
+
+#: Known engines, in registration order (fastest tier last): the
+#: closure-compiled plan (the default), the reference interpreter (the
+#: differential oracle), and the exec()-generated, key-batched codegen
+#: tier.  Snapshot of the builtin registrations; plugin engines appear
+#: through :func:`engine_driver` / ``repro list``, not this tuple.
+ENGINES = tuple(REGISTRY.names("engine"))
+
+
+def engine_driver(name: str) -> EngineDriver:
+    """The registered :class:`EngineDriver` called ``name`` (plugins
+    loaded first), with the uniform unknown-capability error."""
+    REGISTRY.load_plugins()
+    return REGISTRY.get("engine", name)
 
 
 def resolve_engine(engine: Optional[str] = None) -> str:
@@ -89,11 +171,8 @@ def resolve_engine(engine: Optional[str] = None) -> str:
         choice, source = os.environ[ENGINE_ENV], f"${ENGINE_ENV}"
     else:
         choice, source = DEFAULT_ENGINE, "default"
-    if choice not in ENGINES:
-        raise ValueError(
-            f"unknown simulation engine {choice!r} (from {source}); "
-            f"available: {', '.join(ENGINES)}"
-        )
+    REGISTRY.load_plugins()
+    REGISTRY.entry("engine", choice, context=f"(from {source})")
     return choice
 
 

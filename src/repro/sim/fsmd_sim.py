@@ -337,20 +337,10 @@ def simulate(
     to ``$REPRO_SIM_ENGINE``.  All engines return field-identical
     :class:`SimulationResult`\\ s — the differential tests assert it.
     """
-    from repro.sim.compiled import compiled_for, resolve_engine
+    from repro.sim.compiled import engine_driver, resolve_engine
 
-    resolved = resolve_engine(engine)
-    if resolved == "compiled":
-        return compiled_for(design).run(
-            args, arrays=arrays, working_key=working_key, max_cycles=max_cycles
-        )
-    if resolved == "codegen":
-        from repro.sim.codegen import codegen_for
-
-        return codegen_for(design).run(
-            args, arrays=arrays, working_key=working_key, max_cycles=max_cycles
-        )
-    return FsmdSimulator(design, max_cycles=max_cycles).run(args, arrays, working_key)
+    driver = engine_driver(resolve_engine(engine))
+    return driver.run(design, args, arrays, working_key, max_cycles)
 
 
 def simulate_batch(
@@ -372,14 +362,12 @@ def simulate_batch(
     field-identical to ``simulate(..., working_key=working_keys[i])``
     on every engine.
     """
-    from repro.sim.compiled import resolve_engine
+    from repro.sim.compiled import engine_driver, resolve_engine
 
-    if resolve_engine(engine) == "codegen":
-        from repro.sim.codegen import codegen_for
-
-        return codegen_for(design).run_batch(
-            args, arrays=arrays, working_keys=working_keys, max_cycles=max_cycles
-        )
+    resolved = resolve_engine(engine)
+    driver = engine_driver(resolved)
+    if driver.run_batch is not None:
+        return driver.run_batch(design, args, arrays, working_keys, max_cycles)
     return [
         simulate(
             design,
@@ -387,7 +375,7 @@ def simulate_batch(
             dict(arrays) if arrays else None,
             working_key=key,
             max_cycles=max_cycles,
-            engine=engine,
+            engine=resolved,
         )
         for key in working_keys
     ]

@@ -11,10 +11,12 @@ from repro.tao.attacks import (
     RandomKeyAttackResult,
     ReplicationLeakResult,
     SliceBruteForceResult,
+    attack_names,
     brute_force_slice_with_oracle,
     key_sensitivity_analysis,
     random_key_attack,
     replication_leak_analysis,
+    run_attack,
 )
 from repro.tao.branch_pass import mask_branches
 from repro.tao.constants_pass import obfuscate_constants
@@ -83,6 +85,7 @@ __all__ = [
     "TaoFlow",
     "ValidationReport",
     "apportion_keys",
+    "attack_names",
     "available_stages",
     "brute_force_slice_with_oracle",
     "build_report",
@@ -106,6 +109,7 @@ __all__ = [
     "register_stage",
     "replication_leak_analysis",
     "resolve_pipeline",
+    "run_attack",
     "validate_component",
     "variant_divergence",
 ]

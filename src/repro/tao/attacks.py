@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
+from repro.registry import REGISTRY
 from repro.sim.testbench import (
     Testbench,
     hamming_distance_fraction,
@@ -271,3 +272,151 @@ def replication_leak_analysis(
         revealed_working_bits=len(revealed_working),
         fanout=manager.fanout,
     )
+
+
+# ----------------------------------------------------------------------
+# Attacks as registered capabilities
+# ----------------------------------------------------------------------
+# Each attack registers an *adapter* with the uniform signature
+# ``(component, benches, *, seed, engine) -> dict`` — a deterministic,
+# JSON-serializable summary (a pure function of its inputs, so campaign
+# units embedding attack blocks stay byte-identical across serial and
+# parallel runs).  An attack that does not apply to the component
+# (e.g. the oracle slice attack on a design with no masked branches)
+# reports ``{"applicable": False, "reason": ...}`` instead of raising,
+# so one attack axis sweeps cleanly across heterogeneous configs.
+# Third-party attackers register under the same kind via the
+# ``repro.plugins`` entry point and sweep as a campaign axis
+# (``repro campaign --attack``) without touching this module.
+
+
+@REGISTRY.register(
+    "attack",
+    "random-key",
+    description="random locking-key guessing: wrong keys must never unlock",
+)
+def _random_key_adapter(
+    component: ObfuscatedComponent,
+    benches: Sequence[Testbench],
+    *,
+    seed: int = 0xA77AC,
+    engine: Optional[str] = None,
+) -> dict[str, Any]:
+    result = random_key_attack(
+        component, benches, n_keys=8, seed=seed, engine=engine
+    )
+    return {
+        "applicable": True,
+        "keys_tried": result.keys_tried,
+        "keys_unlocking": result.keys_unlocking,
+        "average_hamming": result.average_hamming,
+        "search_space_bits": result.search_space_bits,
+        "succeeded": result.succeeded,
+    }
+
+
+@REGISTRY.register(
+    "attack",
+    "key-sensitivity",
+    description="per-bit probe: which flipped working-key bits corrupt outputs",
+)
+def _key_sensitivity_adapter(
+    component: ObfuscatedComponent,
+    benches: Sequence[Testbench],
+    *,
+    seed: int = 5,
+    engine: Optional[str] = None,
+) -> dict[str, Any]:
+    result = key_sensitivity_analysis(
+        component, benches[0], max_bits_per_category=8, seed=seed, engine=engine
+    )
+    return {
+        "applicable": True,
+        "total_bits": result.total_bits,
+        "bits_probed": result.bits_probed,
+        "bits_affecting_output": result.bits_affecting_output,
+        "sensitivity": result.sensitivity,
+        "by_category": {
+            name: list(counts) for name, counts in sorted(result.by_category.items())
+        },
+    }
+
+
+@REGISTRY.register(
+    "attack",
+    "slice-brute-force",
+    description="oracle-assisted enumeration of one branch key slice",
+)
+def _slice_brute_force_adapter(
+    component: ObfuscatedComponent,
+    benches: Sequence[Testbench],
+    *,
+    seed: int = 9,
+    engine: Optional[str] = None,
+) -> dict[str, Any]:
+    try:
+        result = brute_force_slice_with_oracle(
+            component, benches[0], which="branch", seed=seed, engine=engine
+        )
+    except ValueError as error:
+        return {"applicable": False, "reason": str(error)}
+    return {
+        "applicable": True,
+        "slice_bits": result.slice_bits,
+        "candidates": result.candidates,
+        "consistent_with_oracle": result.consistent_with_oracle,
+        "recovered_exactly": result.recovered_exactly,
+    }
+
+
+@REGISTRY.register(
+    "attack",
+    "replication-leak",
+    description="fan-out of one leaked working-key bit under replication",
+)
+def _replication_leak_adapter(
+    component: ObfuscatedComponent,
+    benches: Sequence[Testbench],
+    *,
+    seed: int = 0,
+    engine: Optional[str] = None,
+) -> dict[str, Any]:
+    if component.design.key_config.working_key_bits == 0:
+        return {"applicable": False, "reason": "design consumes no key bits"}
+    try:
+        result = replication_leak_analysis(component, [0])
+    except ValueError as error:
+        return {"applicable": False, "reason": str(error)}
+    return {
+        "applicable": True,
+        "leaked_working_bits": result.leaked_working_bits,
+        "revealed_locking_bits": result.revealed_locking_bits,
+        "revealed_working_bits": result.revealed_working_bits,
+        "fanout": result.fanout,
+    }
+
+
+def attack_names() -> tuple[str, ...]:
+    """Registered attack names (plugins included), in order."""
+    REGISTRY.load_plugins()
+    return REGISTRY.names("attack")
+
+
+def run_attack(
+    name: str,
+    component: ObfuscatedComponent,
+    benches: Sequence[Testbench],
+    *,
+    seed: int = 0,
+    engine: Optional[str] = None,
+) -> dict[str, Any]:
+    """Run the registered attack ``name`` through its uniform adapter.
+
+    The name resolves through the capability registry (plugins loaded
+    first); unknown names raise the uniform
+    :class:`repro.registry.UnknownCapabilityError` listing the
+    registered attacks.
+    """
+    REGISTRY.load_plugins()
+    adapter = REGISTRY.get("attack", name)
+    return adapter(component, benches, seed=seed, engine=engine)

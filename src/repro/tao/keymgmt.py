@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.crypto.aes import AES, AES_CORE_AREA_GATES
 from repro.hls.resources import memory_area, register_area
+from repro.registry import REGISTRY
 from repro.tao.key import LockingKey
 
 
@@ -123,6 +124,37 @@ class AesKeyManager:
         )
 
 
+@REGISTRY.register(
+    "key-scheme",
+    "replication",
+    description="working key = locking key bits replicated (zero overhead)",
+)
+def _replication_scheme(
+    working_key_bits: int,
+    locking_key: LockingKey,
+    rng: random.Random | None = None,
+):
+    manager = ReplicationKeyManager(working_key_bits, locking_key.width)
+    return manager, manager.derive_working_key(locking_key)
+
+
+@REGISTRY.register(
+    "key-scheme",
+    "aes",
+    description="free random working key, AES-CTR sealed into on-chip NVM",
+)
+def _aes_scheme(
+    working_key_bits: int,
+    locking_key: LockingKey,
+    rng: random.Random | None = None,
+):
+    rng = rng or random.Random(locking_key.bits)
+    manager = AesKeyManager(working_key_bits, locking_key.width)
+    working = rng.getrandbits(working_key_bits) if working_key_bits else 0
+    manager.install(locking_key, working)
+    return manager, working
+
+
 def choose_working_key(
     working_key_bits: int,
     locking_key: LockingKey,
@@ -133,15 +165,11 @@ def choose_working_key(
 
     Returns ``(manager, correct_working_key)``.  Replication derives the
     working key from the locking key; the AES scheme draws a free random
-    working key and programs the NVM.
+    working key and programs the NVM.  The scheme name resolves through
+    the capability registry, so plugin-registered schemes — factories
+    with this same ``(working_key_bits, locking_key, rng)`` signature —
+    work anywhere a builtin scheme does.
     """
-    if scheme == "replication":
-        manager = ReplicationKeyManager(working_key_bits, locking_key.width)
-        return manager, manager.derive_working_key(locking_key)
-    if scheme == "aes":
-        rng = rng or random.Random(locking_key.bits)
-        manager = AesKeyManager(working_key_bits, locking_key.width)
-        working = rng.getrandbits(working_key_bits) if working_key_bits else 0
-        manager.install(locking_key, working)
-        return manager, working
-    raise ValueError(f"unknown key-management scheme {scheme!r}")
+    REGISTRY.load_plugins()
+    factory = REGISTRY.get("key-scheme", scheme)
+    return factory(working_key_bits, locking_key, rng)

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import random
 import time
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field, replace
 from typing import (
     TYPE_CHECKING,
@@ -64,6 +65,7 @@ from typing import (
     Union,
 )
 
+from repro.registry import REGISTRY, CapabilityView, UnknownCapabilityError
 from repro.tao.branch_pass import mask_branches
 from repro.tao.constants_pass import obfuscate_constants
 from repro.tao.dfg_variants import obfuscate_dfgs
@@ -231,7 +233,9 @@ class FunctionStage:
         )
 
 
-_REGISTRY: dict[str, Stage] = {}
+#: Live view over the ``"stage"`` kind of the process-wide capability
+#: registry — the dict-shaped face existing code (and tests) address.
+_REGISTRY: MutableMapping = CapabilityView(REGISTRY, "stage")
 
 
 def register_stage(name: str, phase: str) -> Callable[[StageFn], StageFn]:
@@ -247,28 +251,28 @@ def register_stage(name: str, phase: str) -> Callable[[StageFn], StageFn]:
         )
 
     def decorator(fn: StageFn) -> StageFn:
-        if name in _REGISTRY:
-            raise ValueError(f"stage {name!r} is already registered")
-        _REGISTRY[name] = FunctionStage(name=name, phase=phase, fn=fn)
+        stage = FunctionStage(name=name, phase=phase, fn=fn)
+        REGISTRY.register(
+            "stage",
+            name,
+            stage,
+            description=(fn.__doc__ or "").strip().splitlines()[0].strip()
+            if fn.__doc__
+            else f"{phase} stage",
+        )
         return fn
 
     return decorator
 
 
 def get_stage(name: str) -> Stage:
-    """The registered stage called ``name`` (KeyError names the options)."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown stage {name!r}; registered stages: "
-            f"{', '.join(available_stages())}"
-        ) from None
+    """The registered stage called ``name`` (the error names the options)."""
+    return REGISTRY.get("stage", name)
 
 
 def available_stages() -> tuple[str, ...]:
     """Registered stage names, in registration order."""
-    return tuple(_REGISTRY)
+    return REGISTRY.names("stage")
 
 
 # ----------------------------------------------------------------------
@@ -481,31 +485,40 @@ class FlowSpec:
 #: ``PRESET_CONFIGS``, plus the ROM-extended full flow).  ``repro
 #: campaign --pipeline`` accepts these names or ad-hoc comma-separated
 #: stage lists.
-PIPELINE_PRESETS: dict[str, FlowSpec] = {
-    "full": FlowSpec(("constants", "branches", "dfg")),
-    "constants": FlowSpec(("constants",)),
-    "branches": FlowSpec(("branches",)),
-    "dfg": FlowSpec(("dfg",)),
-    "full-rom": FlowSpec(("constants", "branches", "dfg", "roms")),
-}
+PIPELINE_PRESETS: MutableMapping = CapabilityView(REGISTRY, "pipeline-preset")
+
+for _name, _spec, _desc in (
+    ("full", FlowSpec(("constants", "branches", "dfg")), "all three paper passes"),
+    ("constants", FlowSpec(("constants",)), "constant extraction only"),
+    ("branches", FlowSpec(("branches",)), "branch masking only"),
+    ("dfg", FlowSpec(("dfg",)), "DFG variants only"),
+    (
+        "full-rom",
+        FlowSpec(("constants", "branches", "dfg", "roms")),
+        "paper passes plus ROM-image encryption",
+    ),
+):
+    REGISTRY.register("pipeline-preset", _name, _spec, description=_desc)
+del _name, _spec, _desc
 
 
 def resolve_pipeline(value: Union[FlowSpec, str]) -> FlowSpec:
     """A :class:`FlowSpec` from a preset name or comma-separated stages.
 
     ``"full"`` → the preset; ``"constants,branches"`` → an ad-hoc
-    two-stage spec.  Validation errors (unknown stage, phase order,
-    duplicates, empty list) surface as ``ValueError`` naming the
-    available presets and stages.
+    two-stage spec.  Plugin-registered presets and stages resolve too.
+    Validation errors (unknown stage, phase order, duplicates, empty
+    list) surface as ``ValueError`` naming the available presets and
+    stages.
     """
     if isinstance(value, FlowSpec):
         return value
-    preset = PIPELINE_PRESETS.get(value)
-    if preset is not None:
-        return preset
+    REGISTRY.load_plugins()
+    if REGISTRY.has("pipeline-preset", value):
+        return REGISTRY.get("pipeline-preset", value)
     names = tuple(part.strip() for part in value.split(",") if part.strip())
     if not names:
-        raise ValueError(
+        raise UnknownCapabilityError(
             f"empty pipeline {value!r}; presets: "
             f"{', '.join(PIPELINE_PRESETS)}; stages: "
             f"{', '.join(available_stages())}"
