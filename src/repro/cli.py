@@ -13,13 +13,16 @@ Usage (after ``pip install -e .``)::
 
 ``obfuscate`` writes the obfuscated Verilog, the locking key, and a
 JSON key manifest; ``analyze`` prints the key apportionment (Eq. 1)
-without synthesizing; ``campaign`` runs the parallel validation engine
-over benchmark × parameter-config × key-scheme × resource-budget ×
-pipeline units (repeat ``--config`` / ``--key-scheme`` / ``--budget``
-/ ``--pipeline`` to sweep each axis) and emits the unified
-``repro.campaign/3`` JSON schema with per-stage ``StageReport``
-blocks (consumed by ``repro.evaluation.report``).  ``--pipeline``
-takes a FlowSpec preset name (``full``, ``constants``, ...) or a
+without synthesizing; ``campaign`` runs the resumable validation
+service over benchmark × parameter-config × key-scheme ×
+resource-budget × pipeline units (repeat ``--config`` /
+``--key-scheme`` / ``--budget`` / ``--pipeline`` to sweep each axis)
+and emits the unified ``repro.campaign/4`` JSON schema with per-stage
+``StageReport`` blocks and per-unit ``status``/``attempts`` (consumed
+by ``repro.evaluation.report``).  The command is a thin veneer over
+the stable :mod:`repro.api` (``plan_campaign`` → ``execute_plan``
+under an ``ExecutionOptions`` bundle).  ``--pipeline`` takes a
+FlowSpec preset name (``full``, ``constants``, ...) or a
 comma-separated stage list (``constants,branches``); the default
 ``params`` derives stages from each config's parameter booleans.
 ``--cache-dir`` (or
@@ -30,7 +33,12 @@ empties it first and ``--cache-stats`` reports the per-tier split.
 ``--engine`` (or ``$REPRO_SIM_ENGINE``) selects the FSMD simulation
 engine: ``compiled`` (default — designs are lowered once and key
 trials reuse the plan) or ``interp`` (the reference interpreter);
-campaign JSON is byte-identical either way.
+campaign JSON is byte-identical either way.  ``--checkpoint-dir``
+persists one atomic record per completed unit and ``--resume`` skips
+those units on a re-run (byte-identical final JSON);
+``--unit-timeout`` / ``--max-retries`` bound hung or crashing units,
+which degrade to explicit ``failed`` records instead of aborting the
+sweep.
 """
 
 from __future__ import annotations
@@ -277,8 +285,18 @@ def cmd_list(args: argparse.Namespace) -> int:
     except UnknownCapabilityError as error:
         print(error, file=sys.stderr)
         return 2
+    api_info = None
+    if args.kind is None:
+        # Full listings also advertise the stable import surface, so
+        # plugin authors discover it from the same provenance command.
+        from repro.api import __all__ as api_exports
+
+        api_info = {"module": "repro.api", "exports": list(api_exports)}
     if args.json:
-        print(json.dumps(listing, indent=2, sort_keys=True))
+        payload: dict = dict(listing)
+        if api_info is not None:
+            payload["api"] = api_info
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     first = True
     for kind, entries in listing.items():
@@ -299,10 +317,35 @@ def cmd_list(args: argparse.Namespace) -> int:
             if entry["description"]:
                 line += f"  {entry['description']}"
             print(line)
+    if api_info is not None:
+        print()
+        print(
+            f"stable API: {api_info['module']} — "
+            + ", ".join(api_info["exports"])
+        )
     return 0
 
 
+def _campaign_progress(event: str, info: dict) -> None:
+    """Surface executor retry/failure telemetry on stderr as it happens
+    (the summary line at the end reports the totals)."""
+    labels = "/".join(str(part) for part in info.get("unit", ()))
+    if event == "unit-retry":
+        print(
+            f"[retry] {labels}: attempt {info['attempt']} failed "
+            f"({info['error']}); retrying in {info['backoff_seconds']:.1f}s",
+            file=sys.stderr,
+        )
+    elif event == "unit-failed":
+        print(
+            f"[failed] {labels}: gave up after {info['attempts']} "
+            f"attempt(s): {info['error']}",
+            file=sys.stderr,
+        )
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.api import ExecutionOptions, execute_plan, plan_campaign
     from repro.benchsuite import benchmark_names
     from repro.evaluation.report import format_campaign
     from repro.runtime.cache import CACHE_DIR_ENV, configure_disk_cache
@@ -310,7 +353,6 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         PIPELINE_FROM_PARAMS,
         CampaignSpec,
         resolve_jobs,
-        run_campaign,
     )
     from repro.tao.pipeline import PIPELINE_PRESETS, resolve_pipeline
 
@@ -320,6 +362,21 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     if args.jobs is not None and args.jobs < 0:
         print(f"--jobs {args.jobs}: cannot be negative", file=sys.stderr)
+        return 2
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        print(
+            f"--unit-timeout {args.unit_timeout}: must be positive seconds",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_retries < 0:
+        print(
+            f"--max-retries {args.max_retries}: cannot be negative",
+            file=sys.stderr,
+        )
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
     from repro.sim import resolve_engine
 
@@ -403,18 +460,40 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         n_keys=args.keys,
         n_workloads=args.workloads,
         seed=args.seed,
-        jobs=resolve_jobs(args.jobs),
-        engine=args.engine,
         attacks=attacks,
     )
-    result = run_campaign(spec, collect_cache_stats=args.cache_stats)
+    jobs = resolve_jobs(args.jobs)
+    options = ExecutionOptions(
+        jobs=jobs,
+        engine=args.engine,
+        cache_dir=str(cache_dir) if cache_dir else None,
+        collect_cache_stats=args.cache_stats,
+        checkpoint_dir=(
+            str(args.checkpoint_dir) if args.checkpoint_dir else None
+        ),
+        resume=args.resume,
+        unit_timeout=args.unit_timeout,
+        max_retries=args.max_retries,
+        progress=_campaign_progress,
+    )
+    result = execute_plan(plan_campaign(spec), options)
     if args.output is not None:
         path = result.write(args.output, include_trials=not args.no_trials)
         print(f"wrote {path}")
     print(format_campaign(result))
-    print(f"elapsed {result.elapsed_seconds:.1f}s ({spec.jobs} worker(s))")
+    telemetry = result.execution or {}
+    print(
+        f"elapsed {result.elapsed_seconds:.1f}s ({jobs} worker(s)): "
+        f"{telemetry.get('units_completed', len(result.units))}/"
+        f"{telemetry.get('units_total', len(result.units))} units ok, "
+        f"{telemetry.get('units_failed', 0)} failed, "
+        f"{telemetry.get('retries', 0)} retried, "
+        f"{telemetry.get('units_resumed', 0)} resumed"
+    )
     passed = all(
-        unit.report.correct_key_ok and unit.report.wrong_keys_all_corrupt
+        unit.ok
+        and unit.report.correct_key_ok
+        and unit.report.wrong_keys_all_corrupt
         for unit in result.units
     )
     return 0 if passed else 1
@@ -523,8 +602,36 @@ def build_parser() -> argparse.ArgumentParser:
             "  follows the stages that actually run.  Each unit's JSON\n"
             "  records its pipeline label and per-stage StageReport\n"
             "  blocks (ops touched, key bits consumed) in the\n"
-            "  repro.campaign/3 schema; v1/v2 documents upgrade on\n"
+            "  repro.campaign/4 schema; v1-v3 documents upgrade on\n"
             "  load.\n"
+            "\n"
+            "resumable execution (--checkpoint-dir / --resume /\n"
+            "--unit-timeout / --max-retries):\n"
+            "  The campaign engine is a plan/execute service\n"
+            "  (repro.api.plan_campaign -> execute_plan): the plan\n"
+            "  enumerates units with deterministic content-addressed\n"
+            "  unit ids, and the executor runs each to an explicit\n"
+            "  terminal state.  --checkpoint-dir writes one atomic\n"
+            "  JSON record per completed unit, namespaced by a spec\n"
+            "  fingerprint (spec + schema version; execution knobs\n"
+            "  like --jobs/--engine are excluded), so a changed spec\n"
+            "  can never resume stale units.  --resume skips the\n"
+            "  checkpointed units of the same spec and reassembles a\n"
+            "  final JSON byte-identical to an uninterrupted run —\n"
+            "  kill a campaign (even SIGKILL) and re-run with --resume\n"
+            "  to keep every completed unit; CI gates this with\n"
+            "  scripts/check_resume.py.  --unit-timeout SECONDS kills\n"
+            "  a unit attempt that hangs (the worker's whole process\n"
+            "  group, including nested key workers, is replaced);\n"
+            "  crashed or timed-out attempts are retried up to\n"
+            "  --max-retries times (default 1) with exponential\n"
+            "  backoff.  A unit that exhausts its attempts is recorded\n"
+            "  as status='failed' (with its error and attempt count,\n"
+            "  schema v4) and the rest of the campaign completes; the\n"
+            "  exit code is then non-zero and failed units re-execute\n"
+            "  on the next --resume.  Progress telemetry (units done/\n"
+            "  failed/retried/resumed, wall time) prints on completion\n"
+            "  and retries/failures stream to stderr as they happen.\n"
             "\n"
             "persistent cache:\n"
             "  --cache-dir layers an on-disk L2 under the in-memory caches:\n"
@@ -656,6 +763,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="clear the persistent cache before running "
         "(requires --cache-dir or $REPRO_CACHE_DIR)",
+    )
+    campaign.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="write one atomic JSON record per completed unit here "
+        "(namespaced by spec fingerprint); enables --resume",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip units already checkpointed under --checkpoint-dir for "
+        "this exact spec; the final JSON is byte-identical to an "
+        "uninterrupted run",
+    )
+    campaign.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill a unit attempt (and its worker's process group) after "
+        "this many wall seconds; retried per --max-retries",
+    )
+    campaign.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="re-attempts per unit after a crash/timeout/error (default: "
+        "1); an exhausted unit is recorded as status='failed' without "
+        "aborting the campaign",
     )
     campaign.set_defaults(func=cmd_campaign)
 

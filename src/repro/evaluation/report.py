@@ -2,8 +2,8 @@
 single markdown document (the machine-generated companion to
 EXPERIMENTS.md).
 
-Also the consumer of the unified campaign JSON (``repro.campaign/3``,
-see :mod:`repro.runtime.results`; v1/v2 documents are upgraded on
+Also the consumer of the unified campaign JSON (``repro.campaign/4``,
+see :mod:`repro.runtime.results`; v1–v3 documents are upgraded on
 load): :func:`format_campaign` renders a
 :class:`~repro.runtime.results.CampaignResult` — produced by
 ``repro campaign -o results.json`` or :func:`run_campaign` — as a
@@ -74,6 +74,7 @@ def format_campaign(result: "CampaignResult") -> str:
         "| " + " | ".join(header) + " |",
         "|" + "|".join(align) + "|",
     ]
+    failed: list[str] = []
     for unit in result.units:
         report = unit.report
         cells = [unit.benchmark, unit.config]
@@ -83,23 +84,38 @@ def format_campaign(result: "CampaignResult") -> str:
             cells.append(unit.budget)
         if show_pipeline:
             cells.append(unit.pipeline)
-        cells += [
-            str(report.n_keys),
-            str(report.correct_key_ok),
-            str(report.wrong_keys_all_corrupt),
-            f"{100 * report.average_hamming:.1f}%",
-            f"{100 * report.min_hamming:.1f}%",
-            f"{100 * report.max_hamming:.1f}%",
-            str(report.latency_changed_keys),
-        ]
+        if report is None:
+            # Failed units (schema v4) carry no report: render an
+            # explicit FAILED row instead of dropping the cell.
+            cells += ["-", "FAILED", "-", "-", "-", "-", "-"]
+            failed.append(
+                f"- {unit.benchmark}/{unit.config} failed after "
+                f"{unit.attempts} attempt(s): {unit.error or 'unknown error'}"
+            )
+        else:
+            cells += [
+                str(report.n_keys),
+                str(report.correct_key_ok),
+                str(report.wrong_keys_all_corrupt),
+                f"{100 * report.average_hamming:.1f}%",
+                f"{100 * report.min_hamming:.1f}%",
+                f"{100 * report.max_hamming:.1f}%",
+                str(report.latency_changed_keys),
+            ]
         lines.append("| " + " | ".join(cells) + " |")
-    reports = [u.report for u in result.units]
+    reports = [u.report for u in result.units if u.report is not None]
     if reports:
         average = sum(r.average_hamming for r in reports) / len(reports)
         lines.append(
             f"\ncampaign average HD {100 * average:.1f}% over "
             f"{len(reports)} unit(s)"
         )
+    if failed:
+        lines += [
+            f"\n**{len(failed)} unit(s) failed** "
+            "(excluded from the average):",
+            *failed,
+        ]
     stage_lines = _format_stage_telemetry(result)
     if stage_lines:
         lines += ["", *stage_lines]
@@ -116,9 +132,14 @@ def format_campaign(result: "CampaignResult") -> str:
                 if counters.get("l2_hits")
                 else ""
             )
+            degraded = (
+                f" ({counters['store_failures']} degraded stores)"
+                if counters.get("store_failures")
+                else ""
+            )
             lines.append(
                 f"{label} cache: {counters.get('hits', 0)} hits{tier} / "
-                f"{counters.get('misses', 0)} misses"
+                f"{counters.get('misses', 0)} misses{degraded}"
             )
         backend = result.cache.get("backend") or {}
         if backend.get("kind") == "disk":

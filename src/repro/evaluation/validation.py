@@ -84,22 +84,22 @@ def validate_suite(
 ) -> ValidationSummary:
     """Run the campaign on all five benchmarks.
 
-    Delegates to :func:`repro.runtime.campaign.run_campaign`, which
-    fans benchmarks across processes when ``jobs > 1`` and derives
-    per-benchmark seeds so serial and parallel runs agree bit-for-bit
-    (note: those derived seeds mean per-benchmark numbers differ from
-    a direct :func:`validate_benchmark` call at the same ``seed``).
+    Delegates to the campaign service (:func:`repro.api.plan_campaign`
+    + :func:`repro.api.execute_plan`), which fans benchmarks across
+    processes when ``jobs > 1`` and derives per-benchmark seeds so
+    serial and parallel runs agree bit-for-bit (note: those derived
+    seeds mean per-benchmark numbers differ from a direct
+    :func:`validate_benchmark` call at the same ``seed``).
     """
-    from repro.runtime.campaign import CampaignSpec, run_campaign
+    from repro.api import CampaignSpec, ExecutionOptions, execute_plan, plan_campaign
 
     spec = CampaignSpec(
         benchmarks=tuple(all_benchmarks()),
         n_keys=n_keys,
         n_workloads=n_workloads,
         seed=seed,
-        jobs=jobs,
     )
-    result = run_campaign(spec)
+    result = execute_plan(plan_campaign(spec), ExecutionOptions(jobs=jobs))
     return ValidationSummary(
         reports={unit.benchmark: unit.report for unit in result.units}
     )

@@ -6,12 +6,19 @@ results schema.
   over an optional persistent, content-addressed disk L2
   (``DiskCacheBackend``, attached via ``configure_disk_cache`` /
   ``$REPRO_CACHE_DIR``) shared across worker processes and runs;
-* :mod:`repro.runtime.campaign` — the parallel multi-axis campaign
-  engine (``CampaignSpec`` / ``run_campaign`` / ``parallel_map``;
+* :mod:`repro.runtime.campaign` — the multi-axis campaign model
+  (``CampaignSpec`` / ``plan_campaign`` → ``CampaignPlan``;
   axes: benchmark × config × key scheme × resource budget ×
-  obfuscation pipeline);
-* :mod:`repro.runtime.results` — the ``repro.campaign/3`` JSON schema
-  (upgrades ``/1`` and ``/2`` documents on load).
+  obfuscation pipeline) plus the shared fan-out primitives
+  (``parallel_map`` / ``key_batches``) and the legacy
+  ``run_campaign`` wrapper;
+* :mod:`repro.runtime.executor` — the fault-tolerant campaign service
+  (``execute_plan`` under an ``ExecutionOptions`` bundle: persistent
+  killable workers, per-unit timeout, bounded retry, checkpointing);
+* :mod:`repro.runtime.checkpoint` — content-addressed unit identity
+  and the atomic per-unit ``CheckpointStore`` behind ``--resume``;
+* :mod:`repro.runtime.results` — the ``repro.campaign/4`` JSON schema
+  (upgrades ``/1``–``/3`` documents on load).
 
 Only the cache layer is imported eagerly; campaign and results symbols
 are re-exported lazily because they sit above the ``tao`` layer in the
@@ -42,17 +49,25 @@ from repro.runtime.cache import (
 )
 
 _LAZY = {
+    "CampaignPlan": "repro.runtime.campaign",
     "CampaignSpec": "repro.runtime.campaign",
     "CONFIG_PIPELINES": "repro.runtime.campaign",
     "KEY_SCHEMES": "repro.runtime.campaign",
     "PIPELINE_FROM_PARAMS": "repro.runtime.campaign",
+    "PlannedUnit": "repro.runtime.campaign",
     "PRESET_BUDGETS": "repro.runtime.campaign",
     "PRESET_CONFIGS": "repro.runtime.campaign",
     "budget_constraints": "repro.runtime.campaign",
     "derive_seed": "repro.runtime.campaign",
     "parallel_map": "repro.runtime.campaign",
+    "plan_campaign": "repro.runtime.campaign",
     "resolve_jobs": "repro.runtime.campaign",
     "run_campaign": "repro.runtime.campaign",
+    "CheckpointStore": "repro.runtime.checkpoint",
+    "spec_fingerprint": "repro.runtime.checkpoint",
+    "unit_identity": "repro.runtime.checkpoint",
+    "ExecutionOptions": "repro.runtime.executor",
+    "execute_plan": "repro.runtime.executor",
     "AXIS_LABELS": "repro.runtime.results",
     "CampaignResult": "repro.runtime.results",
     "CampaignUnit": "repro.runtime.results",

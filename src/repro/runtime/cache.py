@@ -70,6 +70,7 @@ import json
 import os
 import pickle
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Hashable, Optional, Sequence
@@ -90,11 +91,20 @@ class CacheStats:
     L1, ``l2_hits`` from the persistent disk backend, and ``misses``
     were actually computed.  Without a disk backend ``l2_hits`` stays
     zero and the counters reduce to the historical two-way split.
+
+    ``store_failures`` counts computed entries the disk backend failed
+    to persist (disk full, read-only mount, permissions): the campaign
+    still completes — the cache is an accelerator — but every such
+    entry will be recomputed by the next cold process, so the counter
+    (plus a one-per-process ``RuntimeWarning``) makes the degradation
+    visible instead of silent.  Lock-race skips are *not* failures and
+    are not counted: the racing writer published identical bytes.
     """
 
     hits: int = 0
     l2_hits: int = 0
     misses: int = 0
+    store_failures: int = 0
 
     @property
     def lookups(self) -> int:
@@ -108,9 +118,15 @@ class CacheStats:
         self.hits = 0
         self.l2_hits = 0
         self.misses = 0
+        self.store_failures = 0
 
     def as_dict(self) -> dict[str, int]:
-        return {"hits": self.hits, "l2_hits": self.l2_hits, "misses": self.misses}
+        return {
+            "hits": self.hits,
+            "l2_hits": self.l2_hits,
+            "misses": self.misses,
+            "store_failures": self.store_failures,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -123,6 +139,12 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _ENTRY_MAGIC = b"repro-cache/1"
 _TMP_COUNTER = itertools.count()
+
+#: One-per-process flag for the degraded-store ``RuntimeWarning`` —
+#: a campaign writing thousands of entries to a full disk must not
+#: emit thousands of identical warnings.  Module-level so tests can
+#: reset it.
+_STORE_FAILURE_WARNED = False
 
 _TOOLCHAIN_FINGERPRINT: Optional[str] = None
 
@@ -210,16 +232,24 @@ class DiskCacheBackend:
             return None  # truncated or corrupted payload
         return payload
 
-    def store(self, namespace: str, key: str, payload: bytes) -> bool:
+    def store(self, namespace: str, key: str, payload: bytes) -> Optional[bool]:
         """Atomically publish ``payload`` under ``key``.
 
-        Returns ``False`` when another live writer holds the entry lock
-        (its content is identical — content addressing — so losing the
-        race is not a failure, just redundant work skipped).  Any
-        filesystem failure (disk full, read-only mount, a concurrent
-        ``clear()`` sweeping the staged temp file) likewise degrades to
-        ``False``: the cache is an accelerator, so a failed publication
-        must never abort the campaign that already computed the result.
+        Tri-state result, all falsy-when-not-published so callers may
+        still treat it as a boolean:
+
+        * ``True`` — entry published.
+        * ``False`` — another live writer holds the entry lock.  Its
+          content is identical (content addressing), so losing the
+          race is not a failure, just redundant work skipped.
+        * ``None`` — the filesystem refused (disk full, read-only
+          mount, permissions, a concurrent ``clear()`` sweeping the
+          staged temp file): the store is *degraded*.  The cache is an
+          accelerator, so a failed publication never aborts the
+          campaign that already computed the result — but it is
+          surfaced: one ``RuntimeWarning`` per process naming the
+          failing path, and callers count it in
+          ``CacheStats.store_failures``.
         """
         tmp = None
         try:
@@ -237,13 +267,24 @@ class DiskCacheBackend:
             finally:
                 lock.unlink(missing_ok=True)
             return True
-        except OSError:
+        except OSError as error:
             if tmp is not None:
                 try:
                     tmp.unlink(missing_ok=True)
                 except OSError:
                     pass
-            return False
+            global _STORE_FAILURE_WARNED
+            if not _STORE_FAILURE_WARNED:
+                _STORE_FAILURE_WARNED = True
+                warnings.warn(
+                    f"disk cache store failed under {self.root} ({error}); "
+                    "the persistent cache is degraded — results are computed "
+                    "but not persisted (further failures in this process "
+                    "are counted in cache stats, not re-warned)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
 
     def _acquire_lock(self, lock: Path) -> bool:
         for _attempt in range(2):
@@ -525,7 +566,8 @@ class GoldenCache:
             sort_keys=True,
             separators=(",", ":"),
         ).encode("utf-8")
-        self.backend.store(self.NAMESPACE, self._disk_key(key), payload)
+        if self.backend.store(self.NAMESPACE, self._disk_key(key), payload) is None:
+            self.stats.store_failures += 1
 
     # ------------------------------------------------------------------
     def _compute(
@@ -601,11 +643,13 @@ class FrontEndCache:
                 self.stats.misses += 1
                 master = compile_fn(source, name)
                 if self.backend is not None:
-                    self.backend.store(
+                    stored = self.backend.store(
                         self.NAMESPACE,
                         key,
                         pickle.dumps(master, protocol=pickle.HIGHEST_PROTOCOL),
                     )
+                    if stored is None:
+                        self.stats.store_failures += 1
             self._modules[key] = master
         module = copy.deepcopy(master)
         module.name = name
@@ -735,3 +779,4 @@ def absorb_stats(delta: dict[str, dict[str, int]]) -> None:
         stats.hits += counters.get("hits", 0)
         stats.l2_hits += counters.get("l2_hits", 0)
         stats.misses += counters.get("misses", 0)
+        stats.store_failures += counters.get("store_failures", 0)

@@ -13,13 +13,21 @@ into an explicit multi-axis engine:
   default sentinel :data:`PIPELINE_FROM_PARAMS` derives the stage set
   from each config's ``ObfuscationParameters`` booleans, i.e. legacy
   behaviour), key count, workloads and worker count;
-* :func:`run_campaign` executes it, fanning units (benchmark × config
-  × key scheme × budget × pipeline) across a
-  :class:`~concurrent.futures.ProcessPoolExecutor` — or, for a
-  single-unit campaign, fanning the individual key trials instead —
-  and returns a :class:`repro.runtime.results.CampaignResult` holding
-  the unified ``repro.campaign/3`` JSON document (per-unit pipeline
-  label and deterministic per-stage ``StageReport`` blocks);
+* :func:`plan_campaign` turns a spec into a :class:`CampaignPlan` — a
+  pure, deterministic enumeration of :class:`PlannedUnit` entries
+  (benchmark × config × key scheme × budget × pipeline), each with
+  derived seeds and a content-addressed ``unit_id``
+  (:func:`repro.runtime.checkpoint.unit_identity`) a checkpoint store
+  or fleet scheduler can address it by;
+* :func:`repro.runtime.executor.execute_plan` runs the plan under an
+  :class:`~repro.runtime.executor.ExecutionOptions` bundle
+  (workers, engine, checkpointing/resume, per-unit timeout, bounded
+  retry) and returns a :class:`repro.runtime.results.CampaignResult`
+  holding the unified ``repro.campaign/4`` JSON document (per-unit
+  pipeline label, per-stage ``StageReport`` blocks, and per-unit
+  ``status``/``attempts``);
+* :func:`run_campaign` is the legacy one-shot entry point, kept as a
+  thin plan-then-execute wrapper;
 * :func:`parallel_map` is the shared fan-out primitive (also used by
   ``repro.tao.metrics.validate_component`` for key-level parallelism)
   and :func:`key_batches` the shared batching contract: workers are
@@ -55,7 +63,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import time
 import warnings
 from collections.abc import MutableMapping
 from concurrent.futures import ProcessPoolExecutor
@@ -395,104 +402,137 @@ class CampaignSpec:
         }
 
 
-def _run_unit(
-    shared: Any, task: tuple[str, str, str, str, str]
-) -> dict[str, Any]:
-    """Worker body: build the component and run one unit's campaign.
+@dataclass(frozen=True)
+class PlannedUnit:
+    """One fully-resolved unit of a campaign plan.
 
-    Rebuilds everything from the (deterministic) spec rather than
-    pickling designs across the process boundary; each worker's
-    front-end and golden caches absorb the redundancy.  Returns the
-    unit as a schema dict (plus this unit's cache-counter delta, kept
-    out of the deterministic ``unit`` payload) so results cross
-    process boundaries in the canonical form.  Stage telemetry is
-    serialized timing-free (``StageReport.to_dict`` default), keeping
-    the unit payload byte-deterministic.
+    Everything a worker needs to execute the unit — axis labels plus
+    the derived seeds — and the stable, content-addressed ``unit_id``
+    (:func:`repro.runtime.checkpoint.unit_identity`) that names its
+    checkpoint record.  ``index`` is the unit's position in the plan's
+    deterministic enumeration order (the order units appear in the
+    final document).
     """
-    spec_dict, key_parallel_jobs, cache_dir, engine = shared
-    benchmark_name, config, key_scheme, budget, pipeline = task
-    from repro.benchsuite import get_benchmark
-    from repro.runtime.cache import (
-        active_cache_dir,
-        cache_stats,
-        configure_disk_cache,
-        stats_delta,
-    )
-    from repro.runtime.results import report_to_dict
-    from repro.tao.flow import TaoFlow
-    from repro.tao.key import ObfuscationParameters
-    from repro.tao.metrics import validate_component
-    from repro.tao.pipeline import FlowSpec, resolve_pipeline
 
-    if cache_dir is not None and cache_dir != active_cache_dir():
-        # Worker processes open the parent's disk backend instead of
-        # re-warming from scratch (inline execution is already attached).
-        configure_disk_cache(cache_dir)
-    stats_before = cache_stats()
-    spec = _spec_from_dict(spec_dict)
-    overrides = spec.config_overrides(config)
-    seed = derive_seed(
-        spec.seed, benchmark_name, config, key_scheme, budget, pipeline
-    )
-    workload_seed = derive_seed(spec.seed, "workloads", benchmark_name)
-    bench = get_benchmark(benchmark_name)
-    params = ObfuscationParameters(**overrides)
-    flow_spec = (
-        FlowSpec.from_parameters(params)
-        if pipeline == PIPELINE_FROM_PARAMS
-        else resolve_pipeline(pipeline)
-    )
-    flow = TaoFlow(
-        params=params,
-        constraints=budget_constraints(budget),
-        key_scheme=key_scheme,
-        pipeline=flow_spec,
-    )
-    component = flow.obfuscate(bench.source, bench.top)
-    workloads = bench.make_testbenches(
-        seed=workload_seed, count=spec.n_workloads
-    )
-    report = validate_component(
-        component,
-        workloads,
-        n_keys=spec.n_keys,
-        seed=seed,
-        jobs=key_parallel_jobs,
-        engine=engine,
-    )
-    unit: dict[str, Any] = {
-        "benchmark": benchmark_name,
-        "config": config,
-        "key_scheme": key_scheme,
-        "budget": budget,
-        "pipeline": pipeline,
-        "params": overrides,
-        "seed": seed,
-        "workload_seed": workload_seed,
-        "stages": [r.to_dict() for r in component.stage_reports],
-        "report": report_to_dict(report),
-    }
-    if spec.attacks:
-        from repro.tao.attacks import run_attack
+    index: int
+    benchmark: str
+    config: str
+    key_scheme: str
+    budget: str
+    pipeline: str
+    seed: int
+    workload_seed: int
+    unit_id: str
 
-        # Each attack draws from its own name-scoped stream: the unit
-        # seed and every other attack are unaffected by its presence.
-        unit["attacks"] = {
-            attack: run_attack(
-                attack,
-                component,
-                workloads,
-                seed=derive_seed(
-                    spec.seed, "attack", attack, *task
-                ),
-                engine=engine,
+    def labels(self) -> tuple[str, str, str, str, str]:
+        return (
+            self.benchmark,
+            self.config,
+            self.key_scheme,
+            self.budget,
+            self.pipeline,
+        )
+
+    def as_task(self) -> tuple:
+        """The picklable task tuple sent to a worker process."""
+        return (
+            self.index,
+            self.benchmark,
+            self.config,
+            self.key_scheme,
+            self.budget,
+            self.pipeline,
+            self.seed,
+            self.workload_seed,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """Pure product of :func:`plan_campaign`: spec + planned units.
+
+    ``fingerprint`` namespaces the plan's checkpoint records
+    (:func:`repro.runtime.checkpoint.spec_fingerprint` over the
+    serialized spec and the results schema): two plans share a
+    fingerprint iff they serialize to the same spec under the same
+    schema, so resume can never mix units from different campaigns.
+    Execution knobs (``jobs``, ``engine``) are excluded from the
+    serialized spec and therefore from the fingerprint.
+    """
+
+    spec: CampaignSpec
+    units: tuple[PlannedUnit, ...]
+    fingerprint: str
+
+    def spec_dict(self) -> dict[str, Any]:
+        return self.spec.to_dict()
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+
+def plan_campaign(spec: CampaignSpec) -> CampaignPlan:
+    """Enumerate ``spec`` into a deterministic :class:`CampaignPlan`.
+
+    Pure: no I/O, no execution, no dependence on ``jobs``/``engine``.
+    Unit order is the spec's axis-product order (stable across
+    processes and machines), each unit's seed is derived from the base
+    seed plus its axis labels, and each workload seed from the
+    benchmark alone — see the module docstring for why that sharing
+    matters.  The plan is what :func:`execute_plan` executes, what a
+    checkpoint store indexes, and what a future fleet scheduler would
+    shard.
+
+    Spec errors fail fast here — unknown benchmark or pipeline names
+    raise ``ValueError`` before any worker spawns, instead of burning
+    the executor's retry budget and sealing every unit as failed.
+    """
+    from repro.runtime.checkpoint import spec_fingerprint, unit_identity
+    from repro.runtime.results import SCHEMA
+
+    tasks = spec.units()
+    if not tasks:
+        raise ValueError(
+            "campaign spec has no units: benchmarks, configs, key_schemes, "
+            "resource_budgets and pipelines must all be non-empty"
+        )
+    from repro.benchsuite import all_benchmarks
+    from repro.tao.pipeline import resolve_pipeline
+
+    known_benchmarks = all_benchmarks()
+    for bench in spec.benchmarks:
+        if bench not in known_benchmarks:
+            raise ValueError(
+                f"unknown benchmark {bench!r}; available: "
+                + ", ".join(sorted(known_benchmarks))
             )
-            for attack in spec.attacks
-        }
-    return {
-        "unit": unit,
-        "cache_delta": stats_delta(stats_before, cache_stats()),
-    }
+    for pipeline in spec.pipelines:
+        if pipeline != PIPELINE_FROM_PARAMS:
+            resolve_pipeline(pipeline)  # raises ValueError on unknown stages
+    spec_dict = spec.to_dict()
+    planned = []
+    for index, (bench, config, scheme, budget, pipeline) in enumerate(tasks):
+        seed = derive_seed(spec.seed, bench, config, scheme, budget, pipeline)
+        planned.append(
+            PlannedUnit(
+                index=index,
+                benchmark=bench,
+                config=config,
+                key_scheme=scheme,
+                budget=budget,
+                pipeline=pipeline,
+                seed=seed,
+                workload_seed=derive_seed(spec.seed, "workloads", bench),
+                unit_id=unit_identity(
+                    bench, config, scheme, budget, pipeline, seed
+                ),
+            )
+        )
+    return CampaignPlan(
+        spec=spec,
+        units=tuple(planned),
+        fingerprint=spec_fingerprint(spec_dict, SCHEMA),
+    )
 
 
 def _spec_from_dict(data: dict[str, Any]) -> CampaignSpec:
@@ -513,79 +553,51 @@ def _spec_from_dict(data: dict[str, Any]) -> CampaignSpec:
     )
 
 
-def run_campaign(spec: CampaignSpec, collect_cache_stats: bool = False):
-    """Execute ``spec`` and return a :class:`CampaignResult`.
+#: One-per-process flag for the legacy-kwargs deprecation notice in
+#: :func:`run_campaign` (module-level so tests can reset it).
+_LEGACY_KNOBS_WARNED = False
 
-    Fan-out strategy: parallelism is applied across units (each worker
-    runs one benchmark × config × scheme × budget × pipeline cell),
-    and any
-    worker budget beyond the unit count is handed down as key-level
-    parallelism — a single-unit campaign fans its key trials over
-    every core, and ``--jobs 8`` over 2 units gives each unit 4 key
-    workers.  The split uses ceil division, so a budget that does not
-    divide evenly (8 jobs over 5 units → 2 key workers each) mildly
-    oversubscribes rather than idling the surplus.  Every layout
-    produces the same JSON as ``jobs=1``.
 
-    ``collect_cache_stats`` attaches the summed per-unit cache-counter
-    deltas to ``result.cache``, split by tier (``hits`` = in-process
-    L1, ``l2_hits`` = persistent disk backend, ``misses`` = computed),
-    plus the backend provenance (memory-only or the disk directory).
-    Each unit's delta includes the deltas its nested key-level pool
-    workers reported back, so the totals count every trial; the
-    hit/miss *split* is process-layout-dependent (separate workers
-    each warm their own L1), which is why the telemetry stays out of
-    ``units``.  A ``jobs=1`` campaign with no disk backend runs in one
-    process, where golden-cache misses equal benchmarks × workloads:
-    the content-addressed cache shares golden runs across every
-    config, scheme, budget and pipeline of a benchmark.  Against a
-    warm disk
-    backend a campaign reports **zero** golden misses — every lookup
-    is served from a tier — while its result fields stay byte-identical
-    to a cold run's.
+def run_campaign(
+    spec: CampaignSpec,
+    collect_cache_stats: bool = False,
+    options: Optional[Any] = None,
+):
+    """Legacy one-shot entry point: plan ``spec``, execute it, return
+    the :class:`~repro.runtime.results.CampaignResult`.
 
-    When a disk backend is attached (see
-    :func:`repro.runtime.cache.configure_disk_cache`), its directory
-    is handed to every worker so all processes share one L2.
+    Thin back-compat wrapper over the plan/execute split — equivalent
+    to ``execute_plan(plan_campaign(spec), options)``.  When no
+    ``options`` are given, the execution knobs still riding on the
+    spec (``spec.jobs``, ``spec.engine``) and the
+    ``collect_cache_stats`` flag are lifted into an
+    :class:`~repro.runtime.executor.ExecutionOptions`; passing
+    execution knobs that way is deprecated (one ``DeprecationWarning``
+    per process) — new code should call
+    :func:`~repro.runtime.executor.execute_plan` with explicit
+    options.  Results are byte-identical either way: the fan-out
+    strategy, cache telemetry and determinism contract live in
+    :func:`~repro.runtime.executor.execute_plan` now.
     """
-    from repro.runtime.cache import active_cache_dir, backend_provenance
-    from repro.runtime.results import CampaignResult, CampaignUnit
-    from repro.sim.compiled import resolve_engine
+    from repro.runtime.executor import ExecutionOptions, execute_plan
 
-    started = time.monotonic()
-    tasks = spec.units()
-    if not tasks:
-        raise ValueError(
-            "campaign spec has no units: benchmarks, configs, key_schemes, "
-            "resource_budgets and pipelines must all be non-empty"
+    global _LEGACY_KNOBS_WARNED
+    if options is None:
+        if (
+            spec.jobs != 1 or spec.engine is not None or collect_cache_stats
+        ) and not _LEGACY_KNOBS_WARNED:
+            _LEGACY_KNOBS_WARNED = True
+            warnings.warn(
+                "passing execution knobs (jobs/engine/collect_cache_stats) "
+                "through run_campaign is deprecated; use "
+                "plan_campaign(spec) + execute_plan(plan, "
+                "ExecutionOptions(...)) from repro.api",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        options = ExecutionOptions(
+            jobs=max(1, spec.jobs),
+            engine=spec.engine,
+            collect_cache_stats=collect_cache_stats,
         )
-    spec_dict = spec.to_dict()
-    jobs = max(1, spec.jobs)
-    key_jobs = max(1, -(-jobs // len(tasks))) if jobs > len(tasks) else 1
-    # The engine is resolved here (not in the workers) so spawned
-    # processes honour the parent's $REPRO_SIM_ENGINE regardless of
-    # their inherited environment.
-    engine = resolve_engine(spec.engine)
-    # A single-unit campaign runs inline in parallel_map with the whole
-    # worker budget as key_jobs, so its key trials still use every core.
-    outcomes = parallel_map(
-        _run_unit,
-        tasks,
-        shared=(spec_dict, key_jobs, active_cache_dir(), engine),
-        jobs=jobs,
-    )
-    result = CampaignResult(
-        spec=spec_dict,
-        units=[CampaignUnit.from_dict(o["unit"]) for o in outcomes],
-        elapsed_seconds=time.monotonic() - started,
-    )
-    if collect_cache_stats:
-        totals: dict[str, Any] = {}
-        for outcome in outcomes:
-            for cache, counters in outcome["cache_delta"].items():
-                bucket = totals.setdefault(cache, {})
-                for counter, value in counters.items():
-                    bucket[counter] = bucket.get(counter, 0) + value
-        totals["backend"] = backend_provenance()
-        result.cache = totals
-    return result
+    return execute_plan(plan_campaign(spec), options)

@@ -1,0 +1,198 @@
+"""Unit-level checkpointing for resumable campaigns.
+
+A campaign is a deterministic enumeration of units (see
+:func:`repro.runtime.campaign.plan_campaign`): every unit's seeds —
+and therefore its entire result — are a pure function of the spec and
+the unit's axis labels.  That determinism is what makes checkpointing
+sound: a completed unit's serialized record can be reused by a later
+run of the *same* spec and the reassembled campaign JSON is
+byte-identical to an uninterrupted run (the acceptance gate of
+``scripts/check_resume.py``).
+
+Identity model:
+
+* :func:`unit_identity` — the stable, content-addressed id of one
+  unit: a SHA-256 digest over the unit's axis labels plus its derived
+  seed.  Independent of enumeration order and process layout, so a
+  fleet scheduler can shard units by id and a resumed run can match
+  checkpoints to plan entries without positional assumptions.
+* :func:`spec_fingerprint` — the namespace of a checkpoint directory:
+  a digest over the serialized spec *and* the results-schema version.
+  Records live under ``<checkpoint_dir>/<fingerprint>/``, so a changed
+  spec (different keys, axes, seed, workload count) or a schema bump
+  can never resume stale units — the old records are simply never
+  addressed again.  Execution knobs (jobs, engine, timeouts) are
+  excluded from the serialized spec and therefore from the
+  fingerprint: a campaign interrupted under ``--jobs 8`` may resume
+  under ``--jobs 1``.
+
+Durability: one JSON file per completed unit, staged to a temp file
+and published with :func:`os.replace`, so a record either exists
+completely or not at all — a SIGKILL mid-write can corrupt nothing.
+Unreadable or mismatched records load as "not checkpointed" (the unit
+re-executes), never as an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+#: Record-format version, embedded in every checkpoint file; bump it
+#: when the record shape changes so old files degrade to re-execution.
+CHECKPOINT_VERSION = "repro.checkpoint/1"
+
+#: Unit records checkpoint only on success: a failed unit re-executes
+#: on resume (its failure may have been transient), while a completed
+#: unit's bytes are final.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
+
+def unit_identity(
+    benchmark: str,
+    config: str,
+    key_scheme: str,
+    budget: str,
+    pipeline: str,
+    seed: int,
+) -> str:
+    """Deterministic content-addressed id of one campaign unit.
+
+    Hashes the five axis labels plus the unit's derived seed — the
+    complete identity of the work — so the id is stable across runs,
+    processes, machines and enumeration orders.  16 hex digits (64
+    bits) keeps filenames short; campaigns are nowhere near the
+    birthday bound.
+    """
+    text = "\x1f".join(
+        (
+            "repro.unit/1",
+            benchmark,
+            config,
+            key_scheme,
+            budget,
+            pipeline,
+            str(seed),
+        )
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def spec_fingerprint(spec_dict: dict[str, Any], schema: str) -> str:
+    """Checkpoint namespace for one campaign spec + results schema.
+
+    Canonical-JSON digest, so two specs that serialize identically
+    share a namespace (that is the point: a re-run of the same spec
+    resumes) and any serialized difference — one more key, a new axis
+    value, another seed — lands in a fresh namespace.
+    """
+    payload = json.dumps(
+        {"schema": schema, "spec": spec_dict},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class CheckpointStore:
+    """One atomic JSON record per completed unit, namespaced by spec.
+
+    Layout::
+
+        <root>/<fingerprint>/spec.json        # manifest (debugging aid)
+        <root>/<fingerprint>/<unit_id>.json   # one record per unit
+
+    Records are written via temp-file + :func:`os.replace`, so readers
+    (a resuming run, a concurrent fleet peer) never observe a partial
+    record.  Concurrent writers of the same unit are harmless: the
+    unit is deterministic, so both stage identical bytes and the last
+    rename wins with identical content.
+    """
+
+    def __init__(self, root: Path | str, fingerprint: str) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint
+        self.directory = self.root / fingerprint
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckpointStore({str(self.directory)!r})"
+
+    # ------------------------------------------------------------------
+    def write_manifest(self, spec_dict: dict[str, Any]) -> Path:
+        """Record the spec this namespace belongs to (idempotent)."""
+        path = self.directory / "spec.json"
+        if not path.exists():
+            self._publish(
+                path,
+                {
+                    "checkpoint": CHECKPOINT_VERSION,
+                    "fingerprint": self.fingerprint,
+                    "spec": spec_dict,
+                },
+            )
+        return path
+
+    def store(self, unit_id: str, unit: dict[str, Any]) -> Path:
+        """Atomically publish the completed unit's serialized record."""
+        path = self.directory / f"{unit_id}.json"
+        self._publish(
+            path,
+            {
+                "checkpoint": CHECKPOINT_VERSION,
+                "unit_id": unit_id,
+                "unit": unit,
+            },
+        )
+        return path
+
+    def load(self, unit_id: str) -> Optional[dict[str, Any]]:
+        """The checkpointed unit payload, or ``None`` when absent.
+
+        Anything unreadable — missing file, torn JSON (impossible via
+        the atomic publish, but a foreign file could squat the name),
+        version or id mismatch — degrades to "not checkpointed": the
+        unit re-executes, which is always safe.
+        """
+        path = self.directory / f"{unit_id}.json"
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("checkpoint") != CHECKPOINT_VERSION:
+            return None
+        if record.get("unit_id") != unit_id:
+            return None
+        unit = record.get("unit")
+        return unit if isinstance(unit, dict) else None
+
+    def completed_ids(self) -> list[str]:
+        """Unit ids with a *loadable* record in this namespace (sorted,
+        so callers iterate deterministically).  Squatted or corrupt
+        files are excluded, mirroring :meth:`load`'s degradation."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            path.stem
+            for path in self.directory.glob("*.json")
+            if path.name != "spec.json" and self.load(path.stem) is not None
+        )
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.completed_ids())
+
+    def __len__(self) -> int:
+        return len(self.completed_ids())
+
+    # ------------------------------------------------------------------
+    def _publish(self, path: Path, record: dict[str, Any]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record, sort_keys=True, indent=2) + "\n"
+        tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp"
+        tmp.write_text(payload)
+        os.replace(tmp, path)

@@ -8,7 +8,7 @@ parse one format:
 .. code-block:: text
 
     {
-      "schema": "repro.campaign/3",
+      "schema": "repro.campaign/4",
       "spec": {... echo of the CampaignSpec ...},
       "axes": {... per-axis unit labels (AXIS_LABELS) ...},
       "units": [
@@ -21,12 +21,16 @@ parse one format:
           "params": {...non-default ObfuscationParameters...},
           "seed": 123456,                # per-unit derived seed
           "workload_seed": 987654,       # per-benchmark workload seed
+          "status": "ok",                # "ok" | "failed"
+          "attempts": 1,                 # execution attempts consumed
           "stages": [                    # per-stage StageReport blocks
             {"stage": "constants", "phase": "frontend",
              "ops_touched": 4, "key_bits_consumed": 128},
             ...
           ],
           "report": {... ValidationReport ...},
+                                         # omitted for failed units
+          "error": "...",                # only when status == "failed"
           "attacks": {...}               # optional: per-attack result blocks
                                          # (only when the spec listed attacks)
         },
@@ -54,13 +58,20 @@ cached campaigns stay byte-comparable.
 Version history: ``repro.campaign/1`` had (benchmark × config) units
 and a scalar ``key_scheme`` in the spec.  ``/2`` added the key-scheme
 and resource-budget axes, per-unit ``workload_seed``, and the ``axes``
-label block.  ``/3`` adds the obfuscation-pipeline axis (per-unit
+label block.  ``/3`` added the obfuscation-pipeline axis (per-unit
 ``pipeline`` label; ``"params"`` = stages derived from the config's
 parameter booleans) and the per-stage ``stages`` telemetry blocks.
-:meth:`CampaignResult.from_dict` upgrades old documents on load — v1
-chains through the v2 shape (scalar scheme → one-element axis,
-default budget), and v2 documents gain the default pipeline axis with
-empty stage telemetry (legacy runs recorded none).
+``/4`` adds per-unit execution state from the fault-tolerant executor:
+``status`` (``"ok"`` or ``"failed"``), the ``attempts`` count, and —
+for failed units only — an ``error`` string in place of the
+``report`` block (a unit that exhausts its retries is recorded, not
+dropped).  :meth:`CampaignResult.from_dict` upgrades old documents on
+load — v1 chains through the v2 shape (scalar scheme → one-element
+axis, default budget), v2 documents gain the default pipeline axis
+with empty stage telemetry (legacy runs recorded none), and v3 units
+upgrade as ``status: "ok"``/``attempts: 1`` (pre-executor engines
+aborted on any failure, so every recorded unit had completed first
+try).
 """
 
 from __future__ import annotations
@@ -73,7 +84,8 @@ from typing import Any, Optional
 from repro.tao.key import LockingKey
 from repro.tao.metrics import KeyTrialResult, ValidationReport
 
-SCHEMA = "repro.campaign/3"
+SCHEMA = "repro.campaign/4"
+SCHEMA_V3 = "repro.campaign/3"
 SCHEMA_V2 = "repro.campaign/2"
 SCHEMA_V1 = "repro.campaign/1"
 
@@ -164,22 +176,36 @@ class CampaignUnit:
     pipeline stage with ``stage``/``phase``/``ops_touched``/
     ``key_bits_consumed``.  Legacy documents upgrade with an empty
     list (they recorded none).
+
+    ``status``/``attempts`` record the fault-tolerant executor's view
+    of the unit: ``"ok"`` units completed (``report`` present), while
+    a unit that exhausted its retry budget is recorded with
+    ``status: "failed"``, the ``error`` it died with, and no
+    ``report`` — downstream consumers must treat ``report`` as
+    optional.
     """
 
     benchmark: str
     config: str
     params: dict[str, Any]
     seed: int
-    report: ValidationReport
+    report: Optional[ValidationReport] = None
     key_scheme: str = "replication"
     budget: str = "default"
     pipeline: str = "params"
     workload_seed: Optional[int] = None
     stages: list[dict[str, Any]] = field(default_factory=list)
+    status: str = "ok"
+    attempts: int = 1
+    error: Optional[str] = None
     #: Per-attack result blocks keyed by registered attack name
     #: (``CampaignSpec.attacks``).  Serialized only when non-empty, so
     #: attack-free documents keep their exact pre-attack byte layout.
     attacks: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok" and self.report is not None
 
     def to_dict(self, include_trials: bool = True) -> dict[str, Any]:
         data = {
@@ -191,9 +217,14 @@ class CampaignUnit:
             "params": dict(self.params),
             "seed": self.seed,
             "workload_seed": self.workload_seed,
+            "status": self.status,
+            "attempts": self.attempts,
             "stages": [dict(stage) for stage in self.stages],
-            "report": report_to_dict(self.report, include_trials),
         }
+        if self.report is not None:
+            data["report"] = report_to_dict(self.report, include_trials)
+        if self.error is not None:
+            data["error"] = self.error
         if self.attacks:
             data["attacks"] = {
                 name: dict(block) for name, block in self.attacks.items()
@@ -211,12 +242,19 @@ class CampaignUnit:
             params=dict(data["params"]),
             seed=data["seed"],
             workload_seed=data.get("workload_seed"),
+            status=data.get("status", "ok"),
+            attempts=data.get("attempts", 1),
+            error=data.get("error"),
             stages=[dict(stage) for stage in data.get("stages", [])],
             attacks={
                 name: dict(block)
                 for name, block in data.get("attacks", {}).items()
             },
-            report=report_from_dict(data["report"]),
+            report=(
+                report_from_dict(data["report"])
+                if data.get("report") is not None
+                else None
+            ),
         )
 
 
@@ -244,7 +282,8 @@ def _upgrade_v1(data: dict[str, Any]) -> dict[str, Any]:
 
 
 def _upgrade_v2(data: dict[str, Any]) -> dict[str, Any]:
-    """Lift a ``repro.campaign/2`` document to the ``/3`` shape.
+    """Lift a ``repro.campaign/2`` document to the ``/3`` shape
+    (then :func:`_upgrade_v3` chains it the rest of the way).
 
     v2 campaigns always derived their stage set from the config's
     parameter booleans (the ``"params"`` pipeline) and recorded no
@@ -254,10 +293,29 @@ def _upgrade_v2(data: dict[str, Any]) -> dict[str, Any]:
     spec = dict(data.get("spec", {}))
     spec.setdefault("pipelines", ["params"])
     return {
-        "schema": SCHEMA,
+        "schema": SCHEMA_V3,
         "spec": spec,
         "units": [
             {"pipeline": "params", "stages": [], **unit}
+            for unit in data.get("units", [])
+        ],
+        **({"cache": data["cache"]} if "cache" in data else {}),
+    }
+
+
+def _upgrade_v3(data: dict[str, Any]) -> dict[str, Any]:
+    """Lift a ``repro.campaign/3`` document to the ``/4`` shape.
+
+    Pre-executor engines aborted the whole campaign on any unit
+    failure, so every unit a v3 document records necessarily completed
+    on its first and only attempt: units upgrade as ``status: "ok"``
+    with ``attempts: 1``.
+    """
+    return {
+        "schema": SCHEMA,
+        "spec": dict(data.get("spec", {})),
+        "units": [
+            {"status": "ok", "attempts": 1, **unit}
             for unit in data.get("units", [])
         ],
         **({"cache": data["cache"]} if "cache" in data else {}),
@@ -272,6 +330,11 @@ class CampaignResult:
     units: list[CampaignUnit] = field(default_factory=list)
     cache: Optional[dict[str, Any]] = None
     elapsed_seconds: Optional[float] = None
+    #: Structured progress telemetry from the executor (units total/
+    #: completed/resumed/failed, retries, wall seconds).  Like
+    #: ``elapsed_seconds``, never serialized: process layout and
+    #: resume history must not change result bytes.
+    execution: Optional[dict[str, Any]] = None
 
     def unit(
         self,
@@ -327,10 +390,14 @@ class CampaignResult:
         if schema == SCHEMA_V2:
             data = _upgrade_v2(data)
             schema = data["schema"]
+        if schema == SCHEMA_V3:
+            data = _upgrade_v3(data)
+            schema = data["schema"]
         if schema != SCHEMA:
             raise ValueError(
                 f"unsupported campaign schema {schema!r} (expected "
-                f"{SCHEMA!r} or upgradable {SCHEMA_V2!r}/{SCHEMA_V1!r})"
+                f"{SCHEMA!r} or upgradable {SCHEMA_V3!r}/{SCHEMA_V2!r}/"
+                f"{SCHEMA_V1!r})"
             )
         return cls(
             spec=dict(data["spec"]),

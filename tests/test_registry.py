@@ -523,7 +523,9 @@ class TestCampaignAttackAxis:
 class TestGoldenByteIdentity:
     def test_refactored_sobel_campaign_matches_prerefactor_fixture(self):
         """The registry refactor changes no campaign bytes: this JSON
-        was generated before any table moved onto the registry."""
+        was generated before any table moved onto the registry
+        (re-stamped for the ``repro.campaign/4`` schema bump, which
+        only added the per-unit ``status``/``attempts`` fields)."""
         from repro.runtime.campaign import CampaignSpec, run_campaign
 
         spec = CampaignSpec(

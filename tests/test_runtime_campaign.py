@@ -8,7 +8,7 @@
 * parallel and serial campaigns emit byte-identical JSON;
 * cache telemetry counts trials run in nested key-level pools;
 * multi-axis sweeps (config × key scheme × resource budget ×
-  pipeline) enumerate, execute and serialize (``repro.campaign/3``)
+  pipeline) enumerate, execute and serialize (``repro.campaign/4``)
   correctly, and old documents upgrade on load.
 """
 
@@ -245,7 +245,7 @@ class TestParallelDeterminism:
         serial = run_campaign(CampaignSpec(jobs=1, **base))
         parallel = run_campaign(CampaignSpec(jobs=8, **base))
         assert serial.to_json() == parallel.to_json()
-        assert serial.to_dict()["schema"] == "repro.campaign/3"
+        assert serial.to_dict()["schema"] == "repro.campaign/4"
 
     def test_workloads_shared_across_axes(self):
         # Workload seeds derive from the benchmark alone: every
@@ -508,7 +508,7 @@ class TestResultsSchema:
         assert result.spec["key_schemes"] == ["aes"]
         assert result.spec["resource_budgets"] == ["default"]
         assert result.spec["pipelines"] == ["params"]
-        assert result.to_dict()["schema"] == "repro.campaign/3"
+        assert result.to_dict()["schema"] == "repro.campaign/4"
 
     def test_v2_document_upgrades(self):
         v2 = {
@@ -553,7 +553,63 @@ class TestResultsSchema:
         assert unit.stages == []  # legacy runs recorded no telemetry
         assert unit.budget == "tight"  # existing axis labels survive
         assert result.spec["pipelines"] == ["params"]
-        assert result.to_dict()["schema"] == "repro.campaign/3"
+        assert result.to_dict()["schema"] == "repro.campaign/4"
+        # v1 -> ... -> v4 chain stamps the service-era unit fields.
+        assert unit.status == "ok"
+        assert unit.attempts == 1
+
+    def test_v3_document_upgrades(self):
+        v3 = {
+            "schema": "repro.campaign/3",
+            "spec": {
+                "benchmarks": ["sobel"],
+                "configs": ["default"],
+                "key_schemes": ["replication"],
+                "resource_budgets": ["default"],
+                "pipelines": ["params"],
+                "n_keys": 2,
+                "n_workloads": 1,
+                "seed": 7,
+                "extra_configs": {},
+            },
+            "units": [
+                {
+                    "benchmark": "sobel",
+                    "config": "default",
+                    "key_scheme": "replication",
+                    "budget": "default",
+                    "pipeline": "params",
+                    "params": {},
+                    "seed": 42,
+                    "workload_seed": 9,
+                    "stages": [],
+                    "report": {
+                        "component_name": "sobel",
+                        "n_keys": 2,
+                        "correct_key_ok": True,
+                        "wrong_keys_all_corrupt": True,
+                        "average_hamming": 0.5,
+                        "min_hamming": 0.5,
+                        "max_hamming": 0.5,
+                        "baseline_cycles": 100,
+                        "latency_changed_keys": 0,
+                        "trials": [],
+                    },
+                }
+            ],
+        }
+        result = CampaignResult.from_dict(v3)
+        unit = result.unit("sobel")
+        # Pre-service documents never recorded failures: every unit is
+        # a first-attempt success.
+        assert unit.status == "ok"
+        assert unit.attempts == 1
+        assert unit.error is None
+        assert unit.ok
+        data = result.to_dict()
+        assert data["schema"] == "repro.campaign/4"
+        assert data["units"][0]["status"] == "ok"
+        assert "error" not in data["units"][0]
 
     def test_axes_labels_embedded(self):
         result = run_campaign(CampaignSpec(benchmarks=("sobel",), n_keys=2))
@@ -593,7 +649,7 @@ class TestResultsSchema:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == "repro.campaign/3"
+        assert data["schema"] == "repro.campaign/4"
         assert data["units"][0]["benchmark"] == "sobel"
         assert data["units"][0]["report"]["correct_key_ok"] is True
         captured = capsys.readouterr().out
@@ -627,7 +683,7 @@ class TestResultsSchema:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == "repro.campaign/3"
+        assert data["schema"] == "repro.campaign/4"
         schemes = {u["key_scheme"] for u in data["units"]}
         assert schemes == {"replication", "aes"}
         assert {u["budget"] for u in data["units"]} == {"tight"}

@@ -158,6 +158,44 @@ class TestDiskBackendBasics:
         assert outcome.matches
         assert cache.stats.misses == 1
 
+    def test_store_failure_warns_once_and_is_counted(
+        self, tmp_path, component, monkeypatch
+    ):
+        # A degraded persistent cache must be *visible*: the first
+        # failed store raises one RuntimeWarning naming the root, later
+        # failures stay silent, and tiered caches count every one.
+        import repro.runtime.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "_STORE_FAILURE_WARNED", False)
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        broken = DiskCacheBackend(blocker / "cache")
+        with pytest.warns(RuntimeWarning, match="degraded"):
+            assert broken.store("golden", "ab" * 32, b"x") is None
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second failure: no warning
+            assert broken.store("golden", "cd" * 32, b"y") is None
+
+        cache = GoldenCache(backend=broken)
+        outcome = run_testbench(
+            component.design, BENCH,
+            working_key=component.correct_working_key, golden_cache=cache,
+        )
+        assert outcome.matches
+        assert cache.stats.store_failures == 1
+        assert cache.stats.as_dict()["store_failures"] == 1
+
+    def test_lock_race_is_not_a_store_failure(self, backend):
+        # A live lock skips publication (False) without tripping the
+        # degraded-store path (None) — only OSError counts.
+        key = "ab" * 32
+        lock = backend._entry_path("golden", key).with_suffix(".lock")
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text(str(1 << 30))
+        assert backend.store("golden", key, b"x") is False
+
     def test_garbage_file_is_miss(self, backend):
         key = "ab" * 32
         path = backend._entry_path("golden", key)
