@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""BENCH trajectory: attack-engine throughput and oracle efficiency.
+
+Times every key-recovery attack (``oracle-guided``, ``hill-climb``,
+``resistance-curve``) through the validated ``run_attack`` funnel on a
+full-pipeline benchmark cell and reports **simulated trials per
+second** — the attacker-side compute rate, dominated by the batched
+codegen sweeps the attacks ride on.  Wall time is measured here, in
+the bench harness, never inside the serialized attack results (the
+determinism contract).
+
+The second half measures **oracle efficiency** on the acceptance pair
+from ``tests/test_attack_engine.py``: a one-block kernel whose 8-bit
+variant selector is the whole working key under the ``dfg`` pipeline
+(a 256-candidate pool encloses the true key) and a vanishing fraction
+of it under ``full`` (32-bit constant slices dwarf the tractable
+bits).  For each cell the oracle-guided attacker runs with a
+256-candidate pool and the report records
+``oracle_queries_to_half_keyspace`` — how many activated-chip queries
+eliminate 50 % of the candidate pool (``null`` when the attack stalls
+first, the full-pipeline outcome the paper's §3.1/§4.3 resistance
+argument predicts).
+
+Writes ``BENCH_attacks.json``; CI uploads it as an artifact next to
+``BENCH_sim.json`` / ``BENCH_campaign.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC_DIR))
+
+ATTACKS = ("oracle-guided", "hill-climb", "resistance-curve")
+
+# The acceptance kernel: one straight-line block, 8-bit selector with
+# a full 256-variant table (see tests/test_attack_engine.py).
+ACCEPTANCE_SOURCE = (
+    "int kernel(int a, int b) "
+    "{ int x = a * 3 + b; int y = x * x - a; return y + 7; }"
+)
+
+
+def bench_throughput(benchmark: str, seed: int, engine: str | None) -> dict:
+    """Trials/second per attack on a full-pipeline benchmark cell."""
+    from repro.attack import run_attack
+    from repro.benchsuite import get_benchmark
+    from repro.tao.flow import TaoFlow
+
+    bench = get_benchmark(benchmark)
+    component = TaoFlow(pipeline="full").obfuscate(bench.source, bench.top)
+    workloads = bench.make_testbenches(seed=seed, count=2)
+    rows = {}
+    for attack in ATTACKS:
+        started = time.perf_counter()
+        result = run_attack(
+            attack, component, workloads, seed=seed, engine=engine
+        )
+        elapsed = time.perf_counter() - started
+        cost = result["cost"]
+        rows[attack] = {
+            "seconds": round(elapsed, 4),
+            "cost": cost,
+            "trials_per_second": (
+                round(cost["simulated_trials"] / elapsed, 2)
+                if elapsed > 0 and cost["simulated_trials"]
+                else None
+            ),
+            "applicable": result["applicable"],
+        }
+    return rows
+
+
+def bench_oracle_efficiency(seed: int, engine: str | None) -> dict:
+    """Oracle queries to eliminate half a 256-candidate pool, on the
+    tractable (dfg) and intractable (full) acceptance cells."""
+    from repro.attack import oracle_guided_attack
+    from repro.tao.flow import ObfuscationParameters, obfuscate_source
+
+    params = ObfuscationParameters(block_bits=8, max_variants_per_block=256)
+    from repro.sim import Testbench
+
+    workloads = [Testbench(args=[3, 5]), Testbench(args=[-2, 9])]
+    cells = {}
+    for pipeline in ("dfg", "full"):
+        component = obfuscate_source(
+            ACCEPTANCE_SOURCE, "kernel", params=params, pipeline=pipeline
+        )
+        result = oracle_guided_attack(
+            component, workloads, pool_size=256, max_queries=16, seed=seed
+        )
+        half = result.pool_size // 2
+        to_half = next(
+            (
+                entry["query"]
+                for entry in result.curve
+                if entry["survivors"] <= half
+            ),
+            None,
+        )
+        cells[pipeline] = {
+            "pool_size": result.pool_size,
+            "oracle_queries_to_half_keyspace": to_half,
+            "pool_pruned_fraction": round(result.pool_pruned_fraction, 4),
+            "stall_reason": result.stall_reason,
+            "recovered_bits": result.recovered_bits,
+            "key_recovered": result.key_recovered,
+            "oracle_queries": result.oracle_queries,
+            "simulated_trials": result.simulated_trials,
+        }
+    return cells
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="sobel")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--engine", default=None,
+                        help="simulation engine for the attack sweeps "
+                        "(default: resolver default)")
+    parser.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_attacks.json")
+    )
+    args = parser.parse_args(argv)
+
+    document = {
+        "bench": "attack_engine",
+        "benchmark": args.benchmark,
+        "seed": args.seed,
+        "engine": args.engine or "default",
+        "throughput": bench_throughput(args.benchmark, args.seed, args.engine),
+        "oracle_efficiency": bench_oracle_efficiency(args.seed, args.engine),
+    }
+    # Sanity gates: the tractable cell must halve its pool, the
+    # intractable cell must never reach 50 % elimination.
+    efficiency = document["oracle_efficiency"]
+    failures = []
+    if efficiency["dfg"]["oracle_queries_to_half_keyspace"] is None:
+        failures.append("dfg cell never eliminated half its pool")
+    if efficiency["full"]["oracle_queries_to_half_keyspace"] is not None:
+        failures.append("full cell eliminated half its pool (should stall)")
+    args.output.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    print(json.dumps(document, indent=2, sort_keys=True))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

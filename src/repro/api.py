@@ -24,7 +24,12 @@ unit ids), :func:`execute_plan` is the fault-tolerant service core
 :func:`run_campaign` the legacy one-shot wrapper over both.
 :func:`resolve_pipeline` and :func:`resolve_engine` resolve the two
 label-valued axes (obfuscation pipeline, simulation engine) exactly
-the way the CLI does.
+the way the CLI does.  :func:`run_attack` / :func:`attack_names` are
+the attack-subsystem entry points (:mod:`repro.attack`): every
+registered attack — builtin or plugin — funnels through
+:func:`run_attack`, which validates the structured result contract
+(``name`` / ``applicable`` / ``cost`` / ``outcome``) before the block
+reaches a campaign document.
 
 Everything here is a re-export; the lazy ``__getattr__`` keeps
 ``import repro.api`` free of the heavyweight tao/sim import chain
@@ -42,6 +47,9 @@ _EXPORTS = {
     "execute_plan": "repro.runtime.executor",
     "resolve_pipeline": "repro.tao.pipeline",
     "resolve_engine": "repro.sim.compiled",
+    "attack_names": "repro.attack",
+    "run_attack": "repro.attack",
+    "validate_attack_result": "repro.attack",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -17,9 +17,10 @@ without synthesizing; ``campaign`` runs the resumable validation
 service over benchmark × parameter-config × key-scheme ×
 resource-budget × pipeline units (repeat ``--config`` /
 ``--key-scheme`` / ``--budget`` / ``--pipeline`` to sweep each axis)
-and emits the unified ``repro.campaign/4`` JSON schema with per-stage
-``StageReport`` blocks and per-unit ``status``/``attempts`` (consumed
-by ``repro.evaluation.report``).  The command is a thin veneer over
+and emits the unified ``repro.campaign/5`` JSON schema with per-stage
+``StageReport`` blocks, per-unit ``status``/``attempts``, and
+structured per-attack blocks (consumed by
+``repro.evaluation.report``).  The command is a thin veneer over
 the stable :mod:`repro.api` (``plan_campaign`` → ``execute_plan``
 under an ``ExecutionOptions`` bundle).  ``--pipeline`` takes a
 FlowSpec preset name (``full``, ``constants``, ...) or a
@@ -441,6 +442,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             print(problem, file=sys.stderr)
             print(f"available: {', '.join(known)}", file=sys.stderr)
             return 2
+    if args.key_batch_lanes is not None and args.key_batch_lanes < 1:
+        print(
+            f"--key-batch-lanes {args.key_batch_lanes}: "
+            "need at least one lane per batch",
+            file=sys.stderr,
+        )
+        return 2
     cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV)
     if args.cache_clear and not cache_dir:
         print(
@@ -474,6 +482,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         resume=args.resume,
         unit_timeout=args.unit_timeout,
         max_retries=args.max_retries,
+        key_batch_lanes=args.key_batch_lanes,
         progress=_campaign_progress,
     )
     result = execute_plan(plan_campaign(spec), options)
@@ -563,6 +572,10 @@ def build_parser() -> argparse.ArgumentParser:
             "                    processes and runs\n"
             "  REPRO_SIM_ENGINE  default --engine\n"
             "                    (compiled | interp | codegen)\n"
+            "  REPRO_KEY_BATCH_LANES\n"
+            "                    default --key-batch-lanes (keys per\n"
+            "                    simulation batch; throughput only,\n"
+            "                    never results)\n"
             "\n"
             "simulation engines (--engine / REPRO_SIM_ENGINE):\n"
             "  The execution stack is a three-tier seam (repro.sim):\n"
@@ -602,7 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
             "  follows the stages that actually run.  Each unit's JSON\n"
             "  records its pipeline label and per-stage StageReport\n"
             "  blocks (ops touched, key bits consumed) in the\n"
-            "  repro.campaign/4 schema; v1-v3 documents upgrade on\n"
+            "  repro.campaign/5 schema; v1-v4 documents upgrade on\n"
             "  load.\n"
             "\n"
             "resumable execution (--checkpoint-dir / --resume /\n"
@@ -673,12 +686,33 @@ def build_parser() -> argparse.ArgumentParser:
             "  campaign bytes.\n"
             "\n"
             "attacks (--attack, repeatable):\n"
-            "  Registered attack analyses (repro.tao.attacks; 'repro\n"
-            "  list attack') run against every unit's obfuscated\n"
-            "  component after key validation, each on its own derived\n"
-            "  seed stream, and embed an 'attacks' block in the unit's\n"
-            "  JSON.  Omitting --attack keeps the document byte-\n"
-            "  identical to pre-attack output.\n"
+            "  Registered attacks (repro.attack; 'repro list attack')\n"
+            "  run against every unit's obfuscated component after key\n"
+            "  validation, each on its own derived seed stream, and\n"
+            "  embed an 'attacks' block in the unit's JSON.  Omitting\n"
+            "  --attack keeps the document byte-identical to\n"
+            "  attack-free output.  Every attack — builtin or plugin —\n"
+            "  serializes one validated shape (schema v5):\n"
+            "    {\"name\": ..., \"applicable\": true|false,\n"
+            "     \"cost\": {\"oracle_queries\": N,\n"
+            "              \"simulated_trials\": N, \"iterations\": N},\n"
+            "     \"outcome\": {...attack-specific...},\n"
+            "     \"reason\": \"...\"}   (only when inapplicable)\n"
+            "  Cost model: 'oracle_queries' counts distinct workloads\n"
+            "  sent to the activated oracle chip (the golden model's\n"
+            "  outputs ARE its responses) — the scarce resource an\n"
+            "  oracle-guided adversary spends; 'simulated_trials'\n"
+            "  counts netlist simulations of the attacker's own fab'd\n"
+            "  copies (cheap, parallel, lane-batched);  'iterations'\n"
+            "  counts outer-loop rounds.  All three are deterministic\n"
+            "  — wall-clock never enters the JSON.  The key-recovery\n"
+            "  attackers ('oracle-guided' distinguishing-input\n"
+            "  pruning, 'hill-climb' Hamming descent) and the\n"
+            "  oracle-free 'resistance-curve' sweep live in\n"
+            "  repro.attack next to the legacy surface analyses;\n"
+            "  'oracle-guided' additionally reports its keys-\n"
+            "  eliminated-per-query curve.  Results render as the\n"
+            "  attack-cost table in 'repro report' / format_campaign.\n"
         ),
     )
     campaign.add_argument(
@@ -785,6 +819,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="kill a unit attempt (and its worker's process group) after "
         "this many wall seconds; retried per --max-retries",
+    )
+    campaign.add_argument(
+        "--key-batch-lanes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max keys per codegen simulation batch (default: "
+        "$REPRO_KEY_BATCH_LANES, else 64); a pure throughput knob — "
+        "results are byte-identical for every lane setting",
     )
     campaign.add_argument(
         "--max-retries",

@@ -2,8 +2,8 @@
 single markdown document (the machine-generated companion to
 EXPERIMENTS.md).
 
-Also the consumer of the unified campaign JSON (``repro.campaign/4``,
-see :mod:`repro.runtime.results`; v1–v3 documents are upgraded on
+Also the consumer of the unified campaign JSON (``repro.campaign/5``,
+see :mod:`repro.runtime.results`; v1–v4 documents are upgraded on
 load): :func:`format_campaign` renders a
 :class:`~repro.runtime.results.CampaignResult` — produced by
 ``repro campaign -o results.json`` or :func:`run_campaign` — as a
@@ -178,39 +178,60 @@ def _format_stage_telemetry(result: "CampaignResult") -> list[str]:
     return lines
 
 
-def _format_attacks(result: "CampaignResult") -> list[str]:
-    """Render per-unit attack blocks (``CampaignSpec.attacks``) as a
-    markdown table; empty when no unit carries attack results.
+def _format_attack_outcome(value: object) -> str:
+    """One outcome value as a table-cell fragment: scalars verbatim
+    (floats compacted), containers by size — curves and trajectories
+    belong in the JSON, not a markdown cell."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return f"<{len(value)} items>"
+    if isinstance(value, dict):
+        return f"<{len(value)} entries>"
+    return str(value)
 
-    The summary column compacts each attack's registered result dict
-    into ``key=value`` pairs, so plugin attacks render without this
-    module knowing their schema.
+
+def _format_attacks(result: "CampaignResult") -> list[str]:
+    """Render per-unit attack blocks (``CampaignSpec.attacks``) as the
+    attack-cost table; empty when no unit carries attack results.
+
+    One row per (unit, attack) with the contract's cost counters
+    (oracle queries / simulated trials / iterations) as dedicated
+    columns and the attack-specific ``outcome`` block compacted into
+    ``key=value`` pairs — plugin attacks render without this module
+    knowing their outcome schema.
     """
-    rows: list[tuple[str, str, str, str]] = []
+    rows: list[tuple[str, ...]] = []
     for unit in result.units:
         for name, block in unit.attacks.items():
-            details = ", ".join(
-                f"{key}={value}"
-                for key, value in block.items()
-                if key != "applicable"
-            )
-            applicable = block.get("applicable", True)
+            cost = block.get("cost", {})
+            if block.get("applicable", True):
+                details = ", ".join(
+                    f"{key}={_format_attack_outcome(value)}"
+                    for key, value in block.get("outcome", {}).items()
+                )
+            else:
+                details = f"n/a ({block.get('reason', '?')})"
             rows.append(
                 (
                     unit.benchmark,
                     unit.config,
                     name,
-                    details if applicable else f"n/a ({block.get('reason', '?')})",
+                    str(cost.get("oracle_queries", 0)),
+                    str(cost.get("simulated_trials", 0)),
+                    str(cost.get("iterations", 0)),
+                    details,
                 )
             )
     if not rows:
         return []
     lines = [
-        "| benchmark | config | attack | result |",
-        "|---|---|---|---|",
+        "| benchmark | config | attack | oracle queries | sim trials "
+        "| iterations | outcome |",
+        "|---|---|---|---:|---:|---:|---|",
     ]
-    for benchmark, config, name, details in rows:
-        lines.append(f"| {benchmark} | {config} | {name} | {details} |")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
     return lines
 
 

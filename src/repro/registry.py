@@ -84,7 +84,7 @@ _BUILTIN_SOURCES: dict[str, tuple[str, ...]] = {
     "key-scheme": ("repro.tao.keymgmt",),
     "budget": ("repro.runtime.campaign",),
     "engine": ("repro.sim.compiled",),
-    "attack": ("repro.tao.attacks",),
+    "attack": ("repro.attack",),
 }
 
 _MISSING = object()

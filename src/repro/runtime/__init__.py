@@ -17,7 +17,7 @@ results schema.
   killable workers, per-unit timeout, bounded retry, checkpointing);
 * :mod:`repro.runtime.checkpoint` — content-addressed unit identity
   and the atomic per-unit ``CheckpointStore`` behind ``--resume``;
-* :mod:`repro.runtime.results` — the ``repro.campaign/4`` JSON schema
+* :mod:`repro.runtime.results` — the ``repro.campaign/5`` JSON schema
   (upgrades ``/1``–``/3`` documents on load).
 
 Only the cache layer is imported eagerly; campaign and results symbols

@@ -23,7 +23,7 @@ into an explicit multi-axis engine:
   :class:`~repro.runtime.executor.ExecutionOptions` bundle
   (workers, engine, checkpointing/resume, per-unit timeout, bounded
   retry) and returns a :class:`repro.runtime.results.CampaignResult`
-  holding the unified ``repro.campaign/4`` JSON document (per-unit
+  holding the unified ``repro.campaign/5`` JSON document (per-unit
   pipeline label, per-stage ``StageReport`` blocks, and per-unit
   ``status``/``attempts``);
 * :func:`run_campaign` is the legacy one-shot entry point, kept as a

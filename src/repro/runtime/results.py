@@ -8,7 +8,7 @@ parse one format:
 .. code-block:: text
 
     {
-      "schema": "repro.campaign/4",
+      "schema": "repro.campaign/5",
       "spec": {... echo of the CampaignSpec ...},
       "axes": {... per-axis unit labels (AXIS_LABELS) ...},
       "units": [
@@ -31,8 +31,17 @@ parse one format:
           "report": {... ValidationReport ...},
                                          # omitted for failed units
           "error": "...",                # only when status == "failed"
-          "attacks": {...}               # optional: per-attack result blocks
+          "attacks": {                   # optional: per-attack result blocks
                                          # (only when the spec listed attacks)
+            "oracle-guided": {
+              "name": "oracle-guided",
+              "applicable": true,
+              "cost": {"oracle_queries": 3, "simulated_trials": 210,
+                       "iterations": 4},
+              "outcome": {... attack-specific block ...}
+            },
+            ...
+          }
         },
         ...
       ],
@@ -65,13 +74,20 @@ parameter booleans) and the per-stage ``stages`` telemetry blocks.
 ``status`` (``"ok"`` or ``"failed"``), the ``attempts`` count, and —
 for failed units only — an ``error`` string in place of the
 ``report`` block (a unit that exhausts its retries is recorded, not
-dropped).  :meth:`CampaignResult.from_dict` upgrades old documents on
-load — v1 chains through the v2 shape (scalar scheme → one-element
-axis, default budget), v2 documents gain the default pipeline axis
-with empty stage telemetry (legacy runs recorded none), and v3 units
-upgrade as ``status: "ok"``/``attempts: 1`` (pre-executor engines
-aborted on any failure, so every recorded unit had completed first
-try).
+dropped).  ``/5`` structures the per-unit ``attacks`` blocks under
+the attack result contract (:mod:`repro.attack.contract`): every
+block carries ``name``, ``applicable``, a deterministic ``cost``
+block (``oracle_queries``/``simulated_trials``/``iterations``) and an
+attack-specific ``outcome`` dict (plus ``reason`` when inapplicable),
+instead of the ad-hoc flat dicts v4 adapters returned.
+:meth:`CampaignResult.from_dict` upgrades old documents on load — v1
+chains through the v2 shape (scalar scheme → one-element axis,
+default budget), v2 documents gain the default pipeline axis with
+empty stage telemetry (legacy runs recorded none), v3 units upgrade
+as ``status: "ok"``/``attempts: 1`` (pre-executor engines aborted on
+any failure, so every recorded unit had completed first try), and v4
+attack blocks lift into the structured shape with a zero cost block
+(legacy adapters recorded no cost model).
 """
 
 from __future__ import annotations
@@ -84,7 +100,8 @@ from typing import Any, Optional
 from repro.tao.key import LockingKey
 from repro.tao.metrics import KeyTrialResult, ValidationReport
 
-SCHEMA = "repro.campaign/4"
+SCHEMA = "repro.campaign/5"
+SCHEMA_V4 = "repro.campaign/4"
 SCHEMA_V3 = "repro.campaign/3"
 SCHEMA_V2 = "repro.campaign/2"
 SCHEMA_V1 = "repro.campaign/1"
@@ -199,8 +216,10 @@ class CampaignUnit:
     attempts: int = 1
     error: Optional[str] = None
     #: Per-attack result blocks keyed by registered attack name
-    #: (``CampaignSpec.attacks``).  Serialized only when non-empty, so
-    #: attack-free documents keep their exact pre-attack byte layout.
+    #: (``CampaignSpec.attacks``), each in the structured contract
+    #: shape (name / cost / outcome — :mod:`repro.attack.contract`).
+    #: Serialized only when non-empty, so attack-free documents keep
+    #: their exact pre-attack byte layout.
     attacks: dict[str, dict[str, Any]] = field(default_factory=dict)
 
     @property
@@ -304,7 +323,8 @@ def _upgrade_v2(data: dict[str, Any]) -> dict[str, Any]:
 
 
 def _upgrade_v3(data: dict[str, Any]) -> dict[str, Any]:
-    """Lift a ``repro.campaign/3`` document to the ``/4`` shape.
+    """Lift a ``repro.campaign/3`` document to the ``/4`` shape
+    (then :func:`_upgrade_v4` chains it the rest of the way).
 
     Pre-executor engines aborted the whole campaign on any unit
     failure, so every unit a v3 document records necessarily completed
@@ -312,12 +332,63 @@ def _upgrade_v3(data: dict[str, Any]) -> dict[str, Any]:
     with ``attempts: 1``.
     """
     return {
-        "schema": SCHEMA,
+        "schema": SCHEMA_V4,
         "spec": dict(data.get("spec", {})),
         "units": [
             {"status": "ok", "attempts": 1, **unit}
             for unit in data.get("units", [])
         ],
+        **({"cache": data["cache"]} if "cache" in data else {}),
+    }
+
+
+def _structured_attack_block(name: str, block: dict[str, Any]) -> dict[str, Any]:
+    """Lift one legacy (v4) flat attack dict into the contract shape.
+
+    v4 adapters returned ad-hoc payloads with an ``applicable`` flag
+    and no cost model; the payload becomes the ``outcome`` block and
+    the cost counters upgrade as zero (the honest value — legacy runs
+    recorded none).  Blocks already carrying the structured keys pass
+    through unchanged (idempotent on re-upgrade).
+    """
+    if {"name", "applicable", "cost", "outcome"} <= set(block):
+        return dict(block)
+    rest = dict(block)
+    applicable = bool(rest.pop("applicable", True))
+    reason = rest.pop("reason", None)
+    lifted: dict[str, Any] = {
+        "name": name,
+        "applicable": applicable,
+        "cost": {"oracle_queries": 0, "simulated_trials": 0, "iterations": 0},
+        "outcome": rest if applicable else {},
+    }
+    if not applicable:
+        lifted["reason"] = str(reason) if reason else "not applicable"
+    return lifted
+
+
+def _upgrade_v4(data: dict[str, Any]) -> dict[str, Any]:
+    """Lift a ``repro.campaign/4`` document to the ``/5`` shape.
+
+    Only the per-unit ``attacks`` blocks change: each legacy flat
+    attack dict is lifted into the structured name/cost/outcome shape
+    of :mod:`repro.attack.contract` (see
+    :func:`_structured_attack_block`); attack-free units are
+    byte-identical under both schemas.
+    """
+    units = []
+    for unit in data.get("units", []):
+        unit = dict(unit)
+        if unit.get("attacks"):
+            unit["attacks"] = {
+                name: _structured_attack_block(name, block)
+                for name, block in unit["attacks"].items()
+            }
+        units.append(unit)
+    return {
+        "schema": SCHEMA,
+        "spec": dict(data.get("spec", {})),
+        "units": units,
         **({"cache": data["cache"]} if "cache" in data else {}),
     }
 
@@ -393,11 +464,14 @@ class CampaignResult:
         if schema == SCHEMA_V3:
             data = _upgrade_v3(data)
             schema = data["schema"]
+        if schema == SCHEMA_V4:
+            data = _upgrade_v4(data)
+            schema = data["schema"]
         if schema != SCHEMA:
             raise ValueError(
                 f"unsupported campaign schema {schema!r} (expected "
-                f"{SCHEMA!r} or upgradable {SCHEMA_V3!r}/{SCHEMA_V2!r}/"
-                f"{SCHEMA_V1!r})"
+                f"{SCHEMA!r} or upgradable {SCHEMA_V4!r}/{SCHEMA_V3!r}/"
+                f"{SCHEMA_V2!r}/{SCHEMA_V1!r})"
             )
         return cls(
             spec=dict(data["spec"]),

@@ -21,7 +21,9 @@ key, so every batch/process layout produces identical reports.
 
 from __future__ import annotations
 
+import os
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -39,11 +41,48 @@ from repro.tao.key import LockingKey
 UNCAPPED_CYCLES = DEFAULT_MAX_CYCLES
 #: Floor of the wrong-key cycle cap (8x baseline, but never below this).
 WRONG_KEY_CYCLE_FLOOR = 4000
-#: Lane cap for one batched simulate call: bounds the per-batch memory
-#: (each lane carries private register/memory images) while keeping
-#: batches large enough that the codegen tier's per-batch costs
-#: (``bind_keys``, memory setup) amortize.
+#: Default lane cap for one batched simulate call: bounds the per-batch
+#: memory (each lane carries private register/memory images) while
+#: keeping batches large enough that the codegen tier's per-batch costs
+#: (``bind_keys``, memory setup) amortize.  Tunable per run — explicit
+#: ``key_batch_lanes`` argument / ``ExecutionOptions.key_batch_lanes``,
+#: then ``$REPRO_KEY_BATCH_LANES`` — via :func:`resolve_key_batch_lanes`;
+#: thousand-key attack sweeps pick wider batches without touching this
+#: constant.  Lane layout never changes results (trials are pure
+#: functions of their keys), only batching granularity.
 KEY_BATCH_LANES = 64
+
+
+def resolve_key_batch_lanes(lanes: Optional[int] = None) -> int:
+    """Lane cap: explicit arg > ``$REPRO_KEY_BATCH_LANES`` env > default.
+
+    ``None`` means "auto" (environment, then :data:`KEY_BATCH_LANES`);
+    an explicit non-positive value is a caller error.  A malformed or
+    non-positive ``REPRO_KEY_BATCH_LANES`` warns and falls back to the
+    default rather than silently batching at a width the user did not
+    mean.  Results are lane-independent by the determinism contract —
+    this knob trades per-batch memory against batch-setup amortization.
+    """
+    if lanes is not None:
+        if lanes < 1:
+            raise ValueError(
+                f"key_batch_lanes={lanes}: need at least one lane per batch"
+            )
+        return lanes
+    env = os.environ.get("REPRO_KEY_BATCH_LANES")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            value = None
+        if value is not None and value >= 1:
+            return value
+        warnings.warn(
+            f"REPRO_KEY_BATCH_LANES={env!r} is not a positive integer; "
+            f"using the default of {KEY_BATCH_LANES} lanes",
+            stacklevel=2,
+        )
+    return KEY_BATCH_LANES
 
 
 @dataclass
@@ -272,6 +311,7 @@ def validate_component(
     max_cycles: int | None = None,
     jobs: int = 1,
     engine: Optional[str] = None,
+    key_batch_lanes: Optional[int] = None,
 ) -> ValidationReport:
     """Run the §4.3 campaign: one correct key + ``n_keys - 1`` wrong keys.
 
@@ -283,7 +323,9 @@ def validate_component(
 
     ``n_keys`` must be at least 2: a campaign with no wrong keys can
     only report vacuous success.  Wrong keys always flow through the
-    batched trial path in :data:`KEY_BATCH_LANES`-capped chunks (see
+    batched trial path in lane-capped chunks (``key_batch_lanes``,
+    resolved via :func:`resolve_key_batch_lanes` — explicit argument,
+    then ``$REPRO_KEY_BATCH_LANES``, then :data:`KEY_BATCH_LANES`; see
     :func:`repro.runtime.campaign.key_batches`); with ``jobs > 1`` the
     batches fan out over a process pool instead of running inline.
     Keys are drawn up front from ``seed`` and trial results are
@@ -312,6 +354,7 @@ def validate_component(
             "a validation campaign needs at least one workload: with no "
             "testbenches every key vacuously 'matches'"
         )
+    lanes = resolve_key_batch_lanes(key_batch_lanes)
     rng = random.Random(seed)
     correct = component.locking_key
     wrong_keys = generate_wrong_keys(correct, n_keys - 1, rng)
@@ -331,7 +374,7 @@ def validate_component(
         outcomes = parallel_map(
             _key_batch_worker,
             key_batches(
-                [key.bits for key in wrong_keys], jobs, max_lanes=KEY_BATCH_LANES
+                [key.bits for key in wrong_keys], jobs, max_lanes=lanes
             ),
             shared=(
                 component,
@@ -351,7 +394,7 @@ def validate_component(
             absorb_stats(delta)
     else:
         wrong_trials = []
-        for batch in key_batches(wrong_keys, 1, max_lanes=KEY_BATCH_LANES):
+        for batch in key_batches(wrong_keys, 1, max_lanes=lanes):
             wrong_trials.extend(
                 run_key_trials(component, benches, batch, cap, engine=engine)
             )

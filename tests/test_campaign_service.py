@@ -333,14 +333,108 @@ class TestRetry:
 
 
 # ----------------------------------------------------------------------
+# Attack determinism (schema v5: attacks ride the campaign axis)
+# ----------------------------------------------------------------------
+TINY_SOURCE = (
+    "int tiny(int a, int b) "
+    "{ int x = a * 3 + b; int y = x * x - a; return y + 7; }"
+)
+
+
+def _tiny_testbenches(seed: int = 0, count: int = 1):
+    import random
+
+    from repro.sim import Testbench
+
+    rng = random.Random(seed)
+    return [
+        Testbench(args=[rng.randint(-8, 8), rng.randint(-8, 8)])
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture
+def tiny_benchmark():
+    """Register a one-block kernel so cross-engine attack campaigns
+    (including the slow reference interpreter) stay fast; fork-start
+    workers inherit the registration."""
+    from repro.benchsuite.registry import Benchmark, register
+    from repro.registry import REGISTRY
+
+    state = REGISTRY.snapshot()
+    register(
+        Benchmark(
+            name="tinyattack",
+            source=TINY_SOURCE,
+            top="tiny",
+            description="one-block kernel for attack determinism tests",
+            make_testbenches=_tiny_testbenches,
+        )
+    )
+    yield "tinyattack"
+    REGISTRY.restore(state)
+
+
+class TestAttackDeterminism:
+    """Same attack + seed => byte-identical campaign JSON across
+    engines, process layouts, and checkpoint/resume."""
+
+    ATTACKS = ("oracle-guided", "hill-climb", "resistance-curve")
+
+    def _spec(self, benchmark):
+        return CampaignSpec(
+            benchmarks=(benchmark,), n_keys=2, seed=11, attacks=self.ATTACKS
+        )
+
+    def test_engines_layouts_and_resume_byte_identical(
+        self, tiny_benchmark, tmp_path
+    ):
+        plan = plan_campaign(self._spec(tiny_benchmark))
+        baseline = execute_plan(
+            plan, _options(jobs=1, engine="compiled")
+        ).to_json()
+        for engine in ("interp", "codegen"):
+            assert (
+                execute_plan(plan, _options(jobs=1, engine=engine)).to_json()
+                == baseline
+            ), f"--engine {engine} perturbed attack bytes"
+        assert execute_plan(plan, _options(jobs=2)).to_json() == baseline
+        ckpt = tmp_path / "ckpt"
+        execute_plan(plan, _options(jobs=1, checkpoint_dir=str(ckpt)))
+        resumed = execute_plan(
+            plan, _options(jobs=1, checkpoint_dir=str(ckpt), resume=True)
+        )
+        assert resumed.to_json() == baseline
+
+    def test_attack_blocks_have_contract_shape(self, tiny_benchmark):
+        result = execute_plan(
+            plan_campaign(self._spec(tiny_benchmark)), _options(jobs=1)
+        )
+        doc = json.loads(result.to_json())
+        assert doc["schema"] == SCHEMA
+        blocks = doc["units"][0]["attacks"]
+        assert set(blocks) == set(self.ATTACKS)
+        for name, block in blocks.items():
+            assert block["name"] == name
+            assert isinstance(block["applicable"], bool)
+            assert set(block["cost"]) == {
+                "oracle_queries", "simulated_trials", "iterations",
+            }
+            assert isinstance(block["outcome"], dict)
+
+
+# ----------------------------------------------------------------------
 # Hard-kill + resume (the acceptance gate, in-tree)
 # ----------------------------------------------------------------------
 class TestKillResume:
     def _campaign_argv(self, out, ckpt, resume=False):
+        # --attack rides along so the kill/resume byte-identity gate
+        # also covers the key-recovery attack blocks (schema v5).
         argv = [
             sys.executable, "-m", "repro.cli", "campaign",
             "--benchmarks", "sobel,adpcm", "--keys", "2", "--seed", "11",
             "--jobs", "1", "--checkpoint-dir", str(ckpt), "-o", str(out),
+            "--attack", "oracle-guided", "--attack", "hill-climb",
         ]
         if resume:
             argv.append("--resume")
@@ -392,6 +486,15 @@ class TestKillResume:
         )
         assert resumed_out.read_bytes() == clean_out.read_bytes()
         assert "resumed" in done.stdout
+        # The acceptance invocation: --attack oracle-guided --attack
+        # hill-climb on sobel emits per-unit attack-cost blocks.
+        doc = json.loads(clean_out.read_text())
+        sobel = next(u for u in doc["units"] if u["benchmark"] == "sobel")
+        assert set(sobel["attacks"]) == {"oracle-guided", "hill-climb"}
+        for block in sobel["attacks"].values():
+            assert set(block["cost"]) == {
+                "oracle_queries", "simulated_trials", "iterations",
+            }
 
 
 # ----------------------------------------------------------------------

@@ -310,10 +310,16 @@ def _plugin_testbenches(seed: int = 0, count: int = 1):
 
 
 def _plugin_attack(component, benches, *, seed=0, engine=None):
+    # Well-behaved plugin: returns the structured contract shape
+    # (repro.attack.contract) that run_attack validates at the funnel.
     return {
+        "name": "plugin-probe",
         "applicable": True,
-        "working_key_bits": component.working_key_bits,
-        "n_benches": len(benches),
+        "cost": {"oracle_queries": 0, "simulated_trials": 0, "iterations": 1},
+        "outcome": {
+            "working_key_bits": component.working_key_bits,
+            "n_benches": len(benches),
+        },
     }
 
 
@@ -376,7 +382,8 @@ class TestPluginSeam:
         assert unit.report.correct_key_ok
         probe = unit.attacks["plugin-probe"]
         assert probe["applicable"] is True
-        assert probe["n_benches"] == 1
+        assert probe["outcome"]["n_benches"] == 1
+        assert probe["cost"]["iterations"] == 1
         # provenance recorded per entry point
         assert REGISTRY.entry("benchmark", "pluginbench").provenance == "plugin:demo"
         assert REGISTRY.entry("attack", "plugin-probe").provenance == "plugin:demo"
@@ -506,7 +513,12 @@ class TestCampaignAttackAxis:
         data = json.loads(out.read_text())
         block = data["units"][0]["attacks"]["replication-leak"]
         assert block["applicable"] is True
-        assert block["fanout"] >= 1
+        assert block["outcome"]["fanout"] >= 1
+        assert block["cost"] == {
+            "oracle_queries": 0,
+            "simulated_trials": 0,
+            "iterations": 1,
+        }
         assert data["spec"]["attacks"] == ["replication-leak"]
         # the same campaign without attacks emits an identical unit
         # minus the attacks block: seeds and trials are unperturbed
@@ -524,8 +536,9 @@ class TestGoldenByteIdentity:
     def test_refactored_sobel_campaign_matches_prerefactor_fixture(self):
         """The registry refactor changes no campaign bytes: this JSON
         was generated before any table moved onto the registry
-        (re-stamped for the ``repro.campaign/4`` schema bump, which
-        only added the per-unit ``status``/``attempts`` fields)."""
+        (re-stamped across schema bumps — /4 added the per-unit
+        ``status``/``attempts`` fields, /5 structured the attack
+        blocks; neither touches attack-free campaign bytes)."""
         from repro.runtime.campaign import CampaignSpec, run_campaign
 
         spec = CampaignSpec(

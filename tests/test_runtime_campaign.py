@@ -8,7 +8,7 @@
 * parallel and serial campaigns emit byte-identical JSON;
 * cache telemetry counts trials run in nested key-level pools;
 * multi-axis sweeps (config × key scheme × resource budget ×
-  pipeline) enumerate, execute and serialize (``repro.campaign/4``)
+  pipeline) enumerate, execute and serialize (``repro.campaign/5``)
   correctly, and old documents upgrade on load.
 """
 
@@ -245,7 +245,7 @@ class TestParallelDeterminism:
         serial = run_campaign(CampaignSpec(jobs=1, **base))
         parallel = run_campaign(CampaignSpec(jobs=8, **base))
         assert serial.to_json() == parallel.to_json()
-        assert serial.to_dict()["schema"] == "repro.campaign/4"
+        assert serial.to_dict()["schema"] == "repro.campaign/5"
 
     def test_workloads_shared_across_axes(self):
         # Workload seeds derive from the benchmark alone: every
@@ -508,7 +508,7 @@ class TestResultsSchema:
         assert result.spec["key_schemes"] == ["aes"]
         assert result.spec["resource_budgets"] == ["default"]
         assert result.spec["pipelines"] == ["params"]
-        assert result.to_dict()["schema"] == "repro.campaign/4"
+        assert result.to_dict()["schema"] == "repro.campaign/5"
 
     def test_v2_document_upgrades(self):
         v2 = {
@@ -553,8 +553,8 @@ class TestResultsSchema:
         assert unit.stages == []  # legacy runs recorded no telemetry
         assert unit.budget == "tight"  # existing axis labels survive
         assert result.spec["pipelines"] == ["params"]
-        assert result.to_dict()["schema"] == "repro.campaign/4"
-        # v1 -> ... -> v4 chain stamps the service-era unit fields.
+        assert result.to_dict()["schema"] == "repro.campaign/5"
+        # v1 -> ... -> v5 chain stamps the service-era unit fields.
         assert unit.status == "ok"
         assert unit.attempts == 1
 
@@ -607,7 +607,7 @@ class TestResultsSchema:
         assert unit.error is None
         assert unit.ok
         data = result.to_dict()
-        assert data["schema"] == "repro.campaign/4"
+        assert data["schema"] == "repro.campaign/5"
         assert data["units"][0]["status"] == "ok"
         assert "error" not in data["units"][0]
 
@@ -649,7 +649,7 @@ class TestResultsSchema:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == "repro.campaign/4"
+        assert data["schema"] == "repro.campaign/5"
         assert data["units"][0]["benchmark"] == "sobel"
         assert data["units"][0]["report"]["correct_key_ok"] is True
         captured = capsys.readouterr().out
@@ -683,7 +683,7 @@ class TestResultsSchema:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == "repro.campaign/4"
+        assert data["schema"] == "repro.campaign/5"
         schemes = {u["key_scheme"] for u in data["units"]}
         assert schemes == {"replication", "aes"}
         assert {u["budget"] for u in data["units"]} == {"tight"}

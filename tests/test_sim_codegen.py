@@ -23,7 +23,12 @@ from repro.sim.codegen import _CODEGEN_CACHE
 from repro.sim.fsmd_sim import FsmdSimulator
 from repro.tao.flow import TaoFlow
 from repro.tao.key import LockingKey
-from repro.tao.metrics import KEY_BATCH_LANES, run_key_trial, run_key_trials
+from repro.tao.metrics import (
+    KEY_BATCH_LANES,
+    resolve_key_batch_lanes,
+    run_key_trial,
+    run_key_trials,
+)
 
 
 def result_fields(result):
@@ -276,3 +281,80 @@ class TestKeyBatches:
         serial = key_batches(items, 1, max_lanes=16)
         fanned = key_batches(items, 4, max_lanes=16)
         assert [x for b in serial for x in b] == [x for b in fanned for x in b]
+
+
+class TestKeyBatchLanes:
+    """The lane cap as a tunable: resolution precedence and the
+    determinism contract (lane layout never changes results)."""
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KEY_BATCH_LANES", raising=False)
+        assert resolve_key_batch_lanes() == KEY_BATCH_LANES
+
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KEY_BATCH_LANES", "7")
+        assert resolve_key_batch_lanes(3) == 3
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KEY_BATCH_LANES", "7")
+        assert resolve_key_batch_lanes() == 7
+
+    def test_explicit_non_positive_raises(self):
+        with pytest.raises(ValueError, match="at least one lane"):
+            resolve_key_batch_lanes(0)
+
+    @pytest.mark.parametrize("env", ["zero", "-4", "0", ""])
+    def test_malformed_env_warns_and_falls_back(self, monkeypatch, env):
+        monkeypatch.setenv("REPRO_KEY_BATCH_LANES", env)
+        if env:
+            with pytest.warns(UserWarning, match="not a positive integer"):
+                assert resolve_key_batch_lanes() == KEY_BATCH_LANES
+        else:
+            assert resolve_key_batch_lanes() == KEY_BATCH_LANES
+
+    def test_execution_options_validate_lanes(self):
+        from repro.api import ExecutionOptions
+
+        with pytest.raises(ValueError, match="at least one lane"):
+            ExecutionOptions(key_batch_lanes=0)
+        assert ExecutionOptions(key_batch_lanes=5).key_batch_lanes == 5
+        assert ExecutionOptions().key_batch_lanes is None
+
+    def test_validate_component_lane_invariant(self):
+        """Identical report bytes for one-lane, default and
+        wider-than-keyset batches (the JSON parity half of the
+        contract; the CLI/env path is covered in the campaign test)."""
+        from dataclasses import asdict
+
+        from repro.tao.metrics import validate_component
+
+        component, workload = _obfuscated("gsm", "full")
+        reports = [
+            asdict(
+                validate_component(
+                    component, [workload], n_keys=5, key_batch_lanes=lanes
+                )
+            )
+            for lanes in (1, None, 512)
+        ]
+        assert reports[0] == reports[1] == reports[2]
+
+    def test_campaign_json_lane_invariant(self, monkeypatch):
+        """Full campaign documents are byte-identical across lane
+        settings, whether set per-option or via the environment."""
+        from repro.api import CampaignSpec, ExecutionOptions, execute_plan
+        from repro.runtime.campaign import plan_campaign
+
+        spec = CampaignSpec(benchmarks=("gsm",), n_keys=4, seed=13)
+
+        def run(**kwargs):
+            return execute_plan(
+                plan_campaign(spec), ExecutionOptions(jobs=1, **kwargs)
+            ).to_json()
+
+        monkeypatch.delenv("REPRO_KEY_BATCH_LANES", raising=False)
+        baseline = run()
+        assert run(key_batch_lanes=1) == baseline
+        assert run(key_batch_lanes=3) == baseline
+        monkeypatch.setenv("REPRO_KEY_BATCH_LANES", "2")
+        assert run() == baseline

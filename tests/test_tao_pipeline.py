@@ -396,7 +396,7 @@ class TestCliPipeline:
         )
         assert code == 0
         data = json.loads(out.read_text())
-        assert data["schema"] == "repro.campaign/4"
+        assert data["schema"] == "repro.campaign/5"
         assert {u["pipeline"] for u in data["units"]} == {
             "constants,branches", "full",
         }
